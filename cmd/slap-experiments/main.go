@@ -1,0 +1,140 @@
+// Command slap-experiments regenerates every table and figure of the
+// paper's evaluation section:
+//
+//	fig1      — §III  QoR scatter of random-shuffle mappings (AES)
+//	accuracy  — §V-B  model accuracy (10-class and binary)
+//	table2    — §V-C  ABC vs Unlimited vs SLAP on the 14 designs
+//	fig5      — §V-D  permutation feature importance
+//	ablation  — §III  single-attribute cut sorts are inconsistent
+//	extended  — bonus: the EPFL blocks the paper skipped (div/sqrt/log2/hypot)
+//
+// Usage:
+//
+//	slap-experiments -profile fast -only all -outdir results/
+//	slap-experiments -profile paper -only table2
+//
+// Text renderings go to stdout; CSV artefacts (for plotting) go to -outdir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"slap/internal/experiments"
+	"slap/internal/library"
+)
+
+func main() {
+	var (
+		profileName = flag.String("profile", "fast", "parameter profile: fast or paper")
+		only        = flag.String("only", "all", "experiments to run: all, fig1, accuracy, table2, fig5, ablation, extended (comma-separated)")
+		outdir      = flag.String("outdir", "", "directory for CSV artefacts (empty = no CSV output)")
+		seed        = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(*profileName, *only, *outdir, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "slap-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profileName, only, outdir string, seed int64) error {
+	p, err := experiments.ByName(profileName)
+	if err != nil {
+		return err
+	}
+	p.Seed = seed
+	want := map[string]bool{}
+	for _, e := range strings.Split(only, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+	progress := func(msg string) { fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg) }
+	writeCSV := func(name, content string) error {
+		if outdir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(outdir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		progress("wrote " + path)
+		return nil
+	}
+
+	lib := library.ASAP7ish()
+
+	// Fig. 1 needs no trained model.
+	if sel("fig1") {
+		designs := experiments.Designs(p)
+		aes := designs[11] // "AES", the paper's Fig. 1 design
+		fig1, err := experiments.RunFig1(p, aes.Build, lib, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig1.Render())
+		if err := writeCSV("fig1_"+p.Name+".csv", fig1.CSV()); err != nil {
+			return err
+		}
+	}
+
+	needModel := sel("accuracy") || sel("table2") || sel("fig5") || sel("extended")
+	var tr *experiments.TrainOutcome
+	if needModel {
+		tr, err = experiments.RunTraining(p, lib, progress)
+		if err != nil {
+			return err
+		}
+	}
+
+	if sel("accuracy") {
+		fmt.Println(tr.RenderAccuracy())
+	}
+
+	if sel("table2") {
+		table, err := experiments.RunTable2(p, tr.SLAP, lib, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+		if err := writeCSV("table2_"+p.Name+".csv", table.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if sel("fig5") {
+		fig5 := experiments.RunFig5(p, tr, progress)
+		fmt.Println(fig5.Render())
+		if err := writeCSV("fig5_"+p.Name+".csv", fig5.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if sel("extended") {
+		ext, err := experiments.RunExtended(p, tr.SLAP, lib, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderExtended(ext))
+		if err := writeCSV("extended_"+p.Name+".csv", ext.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if sel("ablation") {
+		abl, err := experiments.RunAblation(p, lib, 6, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(abl.Render())
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAblationOnly(t *testing.T) {
+	// The ablation needs no trained model, so it is the cheapest selector
+	// that exercises the dispatch loop end to end.
+	if err := run("fast", "ablation", "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadProfile(t *testing.T) {
+	if err := run("bogus", "all", "", 1); err == nil {
+		t.Fatalf("bad profile accepted")
+	}
+}
+
+func TestRunUnknownSelectorIsNoop(t *testing.T) {
+	// Unknown experiment names simply select nothing.
+	if err := run("fast", "nonesuch", "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	// fig1 under the tiny profile needs no trained model and writes its
+	// scatter as CSV.
+	if err := run("tiny", "fig1", dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1_tiny.csv"))
+	if err != nil {
+		t.Fatalf("fig1 CSV not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "delay_ps,area_um2,kind") {
+		t.Fatalf("fig1 CSV malformed:\n%s", data)
+	}
+}

@@ -1,0 +1,80 @@
+// Command slap-train generates random-mapping training data from the two
+// 16-bit adder architectures, trains the SLAP cut classifier, reports its
+// accuracy (paper §V-B) and saves the model.
+//
+// Usage:
+//
+//	slap-train -profile fast -o model.gob
+//	slap-train -maps 1250 -epochs 50 -filters 128 -o model.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slap/internal/core"
+	"slap/internal/experiments"
+	"slap/internal/library"
+)
+
+func main() {
+	var (
+		profileName = flag.String("profile", "fast", "parameter profile: fast or paper")
+		maps        = flag.Int("maps", 0, "random mappings per training circuit (0 = profile value)")
+		epochs      = flag.Int("epochs", 0, "training epochs (0 = profile value)")
+		filters     = flag.Int("filters", 0, "convolution filters (0 = profile value)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		out         = flag.String("o", "model.gob", "output model file")
+		quiet       = flag.Bool("q", false, "suppress per-epoch progress")
+	)
+	flag.Parse()
+
+	if err := run(*profileName, *maps, *epochs, *filters, *seed, *out, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "slap-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profileName string, maps, epochs, filters int, seed int64, out string, quiet bool) error {
+	p, err := experiments.ByName(profileName)
+	if err != nil {
+		return err
+	}
+	if maps != 0 {
+		p.TrainMaps = maps
+	}
+	if epochs != 0 {
+		p.TrainEpochs = epochs
+	}
+	if filters != 0 {
+		p.Filters = filters
+	}
+	p.Seed = seed
+
+	lib := library.ASAP7ish()
+	fmt.Printf("generating %d random mappings per circuit (rc16 + cla16)...\n", p.TrainMaps)
+	s, rep, err := core.Train(core.TrainOptions{
+		Library:        lib,
+		MapsPerCircuit: p.TrainMaps,
+		Epochs:         p.TrainEpochs,
+		Filters:        p.Filters,
+		Seed:           p.Seed,
+		Verbose:        !quiet,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\ndataset: %d samples (%d train / %d val), classes %v\n",
+		rep.Samples, rep.TrainSamples, rep.ValSamples, rep.ClassHistogram)
+	fmt.Printf("10-class validation accuracy: %.1f%%  (paper: ~34%%)\n", 100*rep.MultiClassAccuracy)
+	fmt.Printf("binary keep/drop accuracy:    %.1f%%  (paper: 93.4%%)\n", 100*rep.BinaryAccuracy)
+	fmt.Printf("model: %d parameters\n", s.Model.NumParams())
+
+	if err := s.Model.SaveFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("saved model to %s\n", out)
+	return nil
+}

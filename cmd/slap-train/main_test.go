@@ -1,0 +1,34 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"slap/internal/nn"
+)
+
+func TestRunTrainsAndSaves(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "model.gob")
+	if err := run("fast", 15, 2, 8, 1, out, true); err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.LoadFile(out)
+	if err != nil {
+		t.Fatalf("saved model unreadable: %v", err)
+	}
+	if m.Filters != 8 {
+		t.Fatalf("saved model has %d filters, want 8", m.Filters)
+	}
+}
+
+func TestRunRejectsBadProfile(t *testing.T) {
+	if err := run("bogus", 0, 0, 0, 1, "x.gob", true); err == nil {
+		t.Fatalf("bad profile accepted")
+	}
+}
+
+func TestRunRejectsUnwritableOutput(t *testing.T) {
+	if err := run("fast", 10, 1, 8, 1, "/nonexistent-dir/model.gob", true); err == nil {
+		t.Fatalf("unwritable output accepted")
+	}
+}

@@ -1,0 +1,206 @@
+// Command slap maps a circuit onto the standard-cell library under a chosen
+// cut policy and prints the resulting QoR.
+//
+// Usage:
+//
+//	slap -circuit adder -policy default
+//	slap -circuit AES -policy slap -model model.gob
+//	slap -aag design.aag -policy unlimited -verify
+//
+// Circuits are either built-in Table II generators (-circuit, sized by
+// -profile) or ASCII AIGER files (-aag). Policies: default (vanilla ABC
+// heuristic), unlimited (all cuts), shuffle (random, -seed), slap (ML
+// filtering, requires -model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"slap/internal/aig"
+	"slap/internal/core"
+	"slap/internal/cuts"
+	"slap/internal/experiments"
+	"slap/internal/library"
+	"slap/internal/mapper"
+	"slap/internal/nn"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "", "built-in circuit name (Table II row, e.g. adder, bar, AES)")
+		aagPath     = flag.String("aag", "", "map an ASCII AIGER (.aag) or BLIF (.blif) file instead of a built-in circuit")
+		profileName = flag.String("profile", "fast", "design size profile: fast or paper")
+		policyName  = flag.String("policy", "default", "cut policy: default, unlimited, shuffle, slap")
+		modelPath   = flag.String("model", "", "trained model file (required for -policy slap)")
+		libPath     = flag.String("lib", "", "genlib-like library file (default: built-in asap7ish)")
+		seed        = flag.Int64("seed", 1, "seed for the shuffle policy")
+		limit       = flag.Int("limit", 0, "per-node cut budget for default/shuffle policies (0 = 250)")
+		verify      = flag.Bool("verify", true, "check mapped netlist equivalence against the AIG")
+		listNames   = flag.Bool("list", false, "list built-in circuit names and exit")
+		showCells   = flag.Bool("cells", false, "print the cell-type histogram")
+		verilogOut  = flag.String("verilog", "", "write the mapped netlist as structural Verilog to this file")
+		blifOut     = flag.String("blif", "", "write the mapped netlist as BLIF to this file")
+		report      = flag.Bool("report", false, "print the critical-path timing report")
+	)
+	flag.Parse()
+
+	if err := run(runConfig{
+		circuit: *circuitName, aag: *aagPath, profile: *profileName,
+		policy: *policyName, model: *modelPath, lib: *libPath,
+		seed: *seed, limit: *limit, verify: *verify, list: *listNames,
+		cells: *showCells, verilog: *verilogOut, blif: *blifOut, report: *report,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "slap:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig carries the parsed command-line options.
+type runConfig struct {
+	circuit, aag, profile, policy, model, lib string
+	seed                                      int64
+	limit                                     int
+	verify, list, cells, report               bool
+	verilog, blif                             string
+}
+
+func run(cfg runConfig) error {
+	circuitName, aagPath, policyName := cfg.circuit, cfg.aag, cfg.policy
+	modelPath, libPath := cfg.model, cfg.lib
+	seed, limit := cfg.seed, cfg.limit
+	verify, listNames, showCells := cfg.verify, cfg.list, cfg.cells
+	profile, err := experiments.ByName(cfg.profile)
+	if err != nil {
+		return err
+	}
+	if listNames {
+		for _, d := range experiments.Designs(profile) {
+			fmt.Println(d.Name)
+		}
+		return nil
+	}
+
+	lib, err := loadLibrary(libPath)
+	if err != nil {
+		return err
+	}
+	g, err := loadCircuit(circuitName, aagPath, profile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit: %s\n", g.Stats())
+
+	var res *mapper.Result
+	switch policyName {
+	case "default":
+		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.DefaultPolicy{Limit: limit}})
+	case "unlimited":
+		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.UnlimitedPolicy{}})
+	case "shuffle":
+		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: &cuts.ShufflePolicy{
+			Rng:   rand.New(rand.NewSource(seed)),
+			Limit: limit,
+		}})
+	case "slap":
+		if modelPath == "" {
+			return fmt.Errorf("-policy slap requires -model (train one with slap-train)")
+		}
+		var model *nn.Model
+		model, err = nn.LoadFile(modelPath)
+		if err != nil {
+			return err
+		}
+		res, err = core.New(model, lib).Map(g)
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("policy:  %s\n", res.PolicyName)
+	fmt.Printf("area:    %.2f µm²\n", res.Area)
+	fmt.Printf("delay:   %.2f ps\n", res.Delay)
+	fmt.Printf("ADP:     %.1f\n", res.ADP())
+	fmt.Printf("cells:   %d\n", res.Netlist.NumCells())
+	fmt.Printf("cuts:    %d considered, %d match attempts\n", res.CutsConsidered, res.MatchAttempts)
+	if showCells {
+		for name, n := range res.Netlist.CellCounts() {
+			fmt.Printf("  %-10s %d\n", name, n)
+		}
+	}
+	if verify {
+		if err := res.Netlist.EquivalentTo(g, 8, rand.New(rand.NewSource(99))); err != nil {
+			return fmt.Errorf("EQUIVALENCE FAILED: %w", err)
+		}
+		fmt.Println("verify:  netlist equivalent to subject graph (512 random patterns)")
+	}
+	if cfg.report {
+		fmt.Print(res.Netlist.TimingReport(res.Netlist.STA()))
+	}
+	if cfg.verilog != "" {
+		if err := writeNetlistFile(cfg.verilog, res.Netlist.WriteVerilog); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Verilog to %s\n", cfg.verilog)
+	}
+	if cfg.blif != "" {
+		if err := writeNetlistFile(cfg.blif, res.Netlist.WriteBLIF); err != nil {
+			return err
+		}
+		fmt.Printf("wrote BLIF to %s\n", cfg.blif)
+	}
+	return nil
+}
+
+func writeNetlistFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func loadLibrary(path string) (*library.Library, error) {
+	if path == "" {
+		return library.ASAP7ish(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return library.Parse(path, f)
+}
+
+func loadCircuit(name, aagPath string, p experiments.Profile) (*aig.AIG, error) {
+	if aagPath != "" {
+		f, err := os.Open(aagPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(aagPath, ".blif") {
+			return aig.ReadBLIF(f)
+		}
+		return aig.ReadAAG(f)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("need -circuit or -aag (use -list for built-in names)")
+	}
+	for _, d := range experiments.Designs(p) {
+		if d.Name == name {
+			return d.Build(), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown circuit %q (use -list)", name)
+}

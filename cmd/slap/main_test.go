@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slap/internal/circuits"
+	"slap/internal/core"
+	"slap/internal/library"
+)
+
+func TestRunDefaultPolicy(t *testing.T) {
+	if err := run(runConfig{circuit: "rc64b", profile: "fast", policy: "default", seed: 1, verify: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShuffleAndCells(t *testing.T) {
+	if err := run(runConfig{circuit: "bar", profile: "fast", policy: "shuffle", seed: 7, limit: 8, verify: true, cells: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run(runConfig{profile: "fast", policy: "default", seed: 1, list: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAAGInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.aag")
+	g := circuits.TrainRC16()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteAAG(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(runConfig{aag: path, profile: "fast", policy: "unlimited", seed: 1, verify: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSLAPPolicy(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.gob")
+	s, _, err := core.Train(core.TrainOptions{
+		Library:        library.ASAP7ish(),
+		MapsPerCircuit: 20,
+		Epochs:         2,
+		Filters:        8,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Model.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runConfig{circuit: "rc64b", profile: "fast", policy: "slap", model: modelPath, seed: 1, verify: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomLibrary(t *testing.T) {
+	dir := t.TempDir()
+	libPath := filepath.Join(dir, "lib.txt")
+	text := "GATE inv 1 O=!a DELAY 5 SLOPE 1\nGATE nand2 1.5 O=!(a&b) DELAY 9 SLOPE 2\n"
+	if err := os.WriteFile(libPath, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runConfig{circuit: "rc64b", profile: "fast", policy: "default", lib: libPath, seed: 1, verify: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"unknown profile", func() error {
+			return run(runConfig{circuit: "rc64b", profile: "bogus", policy: "default", seed: 1})
+		}},
+		{"unknown circuit", func() error {
+			return run(runConfig{circuit: "nonesuch", profile: "fast", policy: "default", seed: 1})
+		}},
+		{"unknown policy", func() error {
+			return run(runConfig{circuit: "rc64b", profile: "fast", policy: "bogus", seed: 1})
+		}},
+		{"slap without model", func() error {
+			return run(runConfig{circuit: "rc64b", profile: "fast", policy: "slap", seed: 1})
+		}},
+		{"missing aag", func() error {
+			return run(runConfig{aag: "/nonexistent.aag", profile: "fast", policy: "default", seed: 1})
+		}},
+		{"missing circuit and aag", func() error {
+			return run(runConfig{profile: "fast", policy: "default", seed: 1})
+		}},
+		{"missing library file", func() error {
+			return run(runConfig{circuit: "rc64b", profile: "fast", policy: "default", lib: "/nonexistent.lib", seed: 1})
+		}},
+	}
+	for _, c := range cases {
+		if err := c.f(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if strings.Contains(err.Error(), "EQUIVALENCE") {
+			t.Errorf("%s: unexpected equivalence failure: %v", c.name, err)
+		}
+	}
+}
+
+func TestRunWritesNetlistFiles(t *testing.T) {
+	dir := t.TempDir()
+	v := filepath.Join(dir, "out.v")
+	b := filepath.Join(dir, "out.blif")
+	err := run(runConfig{
+		circuit: "rc64b", profile: "fast", policy: "default", seed: 1,
+		verify: true, verilog: v, blif: b, report: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, err := os.ReadFile(v)
+	if err != nil || !strings.Contains(string(vd), "module") {
+		t.Fatalf("verilog output missing: %v", err)
+	}
+	bd, err := os.ReadFile(b)
+	if err != nil || !strings.Contains(string(bd), ".model") {
+		t.Fatalf("blif output missing: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package slap_test
+
+import (
+	"fmt"
+	"strings"
+
+	"slap"
+)
+
+// ExampleMap demonstrates the core flow: build a subject graph, map it with
+// the vanilla heuristic, and inspect the result.
+func ExampleMap() {
+	g := slap.NewAIG("and3")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	g.AddPO("f", g.And(g.And(a, b), c))
+
+	res, err := slap.Map(g, slap.MapOptions{
+		Library: slap.ASAP7ish(),
+		Policy:  slap.DefaultPolicy{},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// A 3-input AND maps to a single and3 cell.
+	fmt.Println("cells:", res.Netlist.NumCells())
+	for name := range res.Netlist.CellCounts() {
+		fmt.Println("cell:", name)
+	}
+	// Output:
+	// cells: 1
+	// cell: and3
+}
+
+// ExampleParseLibrary shows the genlib-like cell description format.
+func ExampleParseLibrary() {
+	lib, err := slap.ParseLibrary("mini", strings.NewReader(`
+# name     area  function  timing
+GATE inv   0.5   O=!a      DELAY 5 SLOPE 1.5
+GATE nand2 0.8   O=!(a&b)  DELAY 9 SLOPE 2.0
+GATE aoi21 1.0   O=!((a&b)|c) DELAY 10 SLOPE 2.5
+`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("gates:", len(lib.Gates))
+	fmt.Println("inverter:", lib.Inv.Name)
+	// Output:
+	// gates: 3
+	// inverter: inv
+}
+
+// ExampleReadAAG parses an ASCII AIGER file (here: f = a AND b).
+func ExampleReadAAG() {
+	src := `aag 3 2 0 1 1
+2
+4
+6
+6 2 4
+i0 a
+i1 b
+o0 f
+`
+	g, err := slap.ReadAAG(strings.NewReader(src))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("pi=%d po=%d and=%d\n", g.NumPIs(), g.NumPOs(), g.NumAnds())
+	// Output:
+	// pi=2 po=1 and=1
+}

@@ -1,0 +1,86 @@
+// Design-space exploration (a miniature of the paper's Fig. 1): map one
+// design many times with randomly shuffled cut lists and print the QoR
+// cloud as an ASCII scatter, with the default-heuristic point marked.
+//
+//	go run ./examples/design_space
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"slap/internal/aig"
+	"slap/internal/circuits"
+	"slap/internal/experiments"
+	"slap/internal/library"
+)
+
+func main() {
+	p := experiments.Fast()
+	p.Fig1Samples = 120
+
+	lib := library.ASAP7ish()
+	fig, err := experiments.RunFig1(p, func() *aig.AIG { return circuits.BoothMultiplier(12) }, lib,
+		func(msg string) { fmt.Println(msg) })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Print(fig.Render())
+	fmt.Println()
+	fmt.Println(scatter(fig, 64, 20))
+}
+
+// scatter draws the QoR cloud: '.' = one random mapping, 'o' = several,
+// '*' = the default-heuristic point.
+func scatter(f *experiments.Fig1, w, h int) string {
+	minD, maxD, minA, maxA := f.Spread()
+	if f.Default.Delay < minD {
+		minD = f.Default.Delay
+	}
+	if f.Default.Delay > maxD {
+		maxD = f.Default.Delay
+	}
+	if f.Default.Area < minA {
+		minA = f.Default.Area
+	}
+	if f.Default.Area > maxA {
+		maxA = f.Default.Area
+	}
+	cell := func(d, a float64) (int, int) {
+		x := 0
+		if maxD > minD {
+			x = int(float64(w-1) * (d - minD) / (maxD - minD))
+		}
+		y := 0
+		if maxA > minA {
+			y = int(float64(h-1) * (a - minA) / (maxA - minA))
+		}
+		return x, h - 1 - y // area grows upward
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", w))
+	}
+	for _, pt := range f.Points {
+		x, y := cell(pt.Delay, pt.Area)
+		switch grid[y][x] {
+		case ' ':
+			grid[y][x] = '.'
+		default:
+			grid[y][x] = 'o'
+		}
+	}
+	x, y := cell(f.Default.Delay, f.Default.Area)
+	grid[y][x] = '*'
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "area %.0f..%.0f µm² (up) vs delay %.0f..%.0f ps (right); * = ABC default\n",
+		minA, maxA, minD, maxD)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s|\n", string(row))
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+// Explainability (paper §V-D): train a SLAP model, then measure which cut
+// features the model actually relies on via permutation importance, and
+// print a Fig.-5-style bar chart.
+//
+//	go run ./examples/explain
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"slap/internal/core"
+	"slap/internal/library"
+)
+
+func main() {
+	lib := library.ASAP7ish()
+	slap, report, err := core.Train(core.TrainOptions{
+		Library:        lib,
+		MapsPerCircuit: 150,
+		Epochs:         15,
+		Filters:        32,
+		Seed:           3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation: 10-class %.1f%%, binary keep/drop %.1f%%\n\n",
+		100*report.MultiClassAccuracy, 100*report.BinaryAccuracy)
+
+	imps := core.PermutationImportance(slap.Model, report.ValX, report.ValY, 10, 7)
+	maxDrop := imps[0].MultiClassDrop
+	fmt.Println("permutation feature importance (accuracy drop when the feature is shuffled):")
+	for _, imp := range imps {
+		bar := 0
+		if maxDrop > 0 && imp.MultiClassDrop > 0 {
+			bar = int(50 * imp.MultiClassDrop / maxDrop)
+		}
+		fmt.Printf("%-22s %7.4f |%s\n", imp.Name, imp.MultiClassDrop, strings.Repeat("#", bar))
+	}
+	fmt.Println("\nThe paper's observation (§V-D): no single feature dominates; leaf-level")
+	fmt.Println("and polarity context matter more than the vanilla sort key (numLeaves).")
+}

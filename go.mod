@@ -1,0 +1,3 @@
+module slap
+
+go 1.22

@@ -1,0 +1,273 @@
+package circuits
+
+import (
+	"fmt"
+
+	"slap/internal/aig"
+)
+
+// This file builds a combinational AES-128 encryption core, the largest
+// benchmark of the paper's Table II. The S-box is synthesised into AIG logic
+// from its truth table with a memoised Shannon (ROBDD-style) decomposition,
+// which yields a compact multiplexer network with heavy sharing across the
+// eight output bits. The number of rounds is a parameter so the experiment
+// harness can use a scaled-down profile.
+
+// sboxTable computes the AES S-box at runtime from first principles:
+// multiplicative inverse in GF(2^8) (polynomial x^8+x^4+x^3+x+1) followed by
+// the affine transform b ^ rotl(b,1..4) ^ 0x63.
+func sboxTable() [256]byte {
+	gfMul := func(a, b byte) byte {
+		var p byte
+		for i := 0; i < 8; i++ {
+			if b&1 == 1 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a <<= 1
+			if hi != 0 {
+				a ^= 0x1b
+			}
+			b >>= 1
+		}
+		return p
+	}
+	inv := func(a byte) byte {
+		if a == 0 {
+			return 0
+		}
+		// a^254 is the inverse in GF(2^8).
+		r := byte(1)
+		base := a
+		for e := 254; e > 0; e >>= 1 {
+			if e&1 == 1 {
+				r = gfMul(r, base)
+			}
+			base = gfMul(base, base)
+		}
+		return r
+	}
+	rotl := func(b byte, k uint) byte { return b<<k | b>>(8-k) }
+	var tbl [256]byte
+	for x := 0; x < 256; x++ {
+		b := inv(byte(x))
+		tbl[x] = b ^ rotl(b, 1) ^ rotl(b, 2) ^ rotl(b, 3) ^ rotl(b, 4) ^ 0x63
+	}
+	return tbl
+}
+
+// SBoxTable exposes the runtime-computed AES S-box for tests.
+func SBoxTable() [256]byte { return sboxTable() }
+
+// fn256 is a 256-row truth table for an 8-input boolean function.
+type fn256 [4]uint64
+
+func (f fn256) bit(i int) bool { return f[i>>6]>>(uint(i)&63)&1 == 1 }
+
+func (f fn256) isConst() (bool, bool) {
+	all0 := f[0] == 0 && f[1] == 0 && f[2] == 0 && f[3] == 0
+	m := ^uint64(0)
+	all1 := f[0] == m && f[1] == m && f[2] == m && f[3] == m
+	return all0 || all1, all1
+}
+
+// cofactor8 returns the cofactor of f with variable v fixed to val,
+// replicated so the result is independent of v.
+func cofactor8(f fn256, v int, val bool) fn256 {
+	var r fn256
+	for m := 0; m < 256; m++ {
+		src := m&^(1<<uint(v)) | boolBit(val)<<uint(v)
+		if f.bit(src) {
+			r[m>>6] |= 1 << (uint(m) & 63)
+		}
+	}
+	return r
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// synth8 synthesises an 8-input boolean function into the AIG with a
+// memoised Shannon decomposition over variables high-to-low. The memo is
+// shared across calls so the eight S-box output bits reuse common
+// subfunctions (ROBDD-style sharing).
+func synth8(b Builder, in Word, f fn256, memo map[fn256]aig.Lit) aig.Lit {
+	if l, ok := memo[f]; ok {
+		return l
+	}
+	if c, v := f.isConst(); c {
+		l := aig.ConstFalse
+		if v {
+			l = aig.ConstTrue
+		}
+		memo[f] = l
+		return l
+	}
+	// Find the highest variable the function depends on.
+	v := -1
+	var lo, hi fn256
+	for i := 7; i >= 0; i-- {
+		lo = cofactor8(f, i, false)
+		hi = cofactor8(f, i, true)
+		if lo != hi {
+			v = i
+			break
+		}
+	}
+	l := b.G.Mux(in[v], synth8(b, in, hi, memo), synth8(b, in, lo, memo))
+	memo[f] = l
+	return l
+}
+
+// sboxLogic maps an 8-bit word through the AES S-box as synthesised logic.
+// The Shannon memo is local to one S-box instance — it is keyed by function
+// only, so it must never be shared between instances with different input
+// words. Sharing across instances happens structurally via the AIG hash.
+func sboxLogic(b Builder, in Word, tbl *[256]byte) Word {
+	memo := make(map[fn256]aig.Lit)
+	out := make(Word, 8)
+	for bitPos := 0; bitPos < 8; bitPos++ {
+		var f fn256
+		for x := 0; x < 256; x++ {
+			if tbl[x]>>uint(bitPos)&1 == 1 {
+				f[x>>6] |= 1 << (uint(x) & 63)
+			}
+		}
+		// Remap: the function's variable i is in[i].
+		out[bitPos] = synth8(b, in, f, memo)
+	}
+	return out
+}
+
+// xtimeLogic multiplies a GF(2^8) byte by x (the AES "xtime" operation).
+func xtimeLogic(b Builder, a Word) Word {
+	r := make(Word, 8)
+	r[0] = a[7]
+	r[1] = b.G.Xor(a[0], a[7])
+	r[2] = a[1]
+	r[3] = b.G.Xor(a[2], a[7])
+	r[4] = b.G.Xor(a[3], a[7])
+	r[5] = a[4]
+	r[6] = a[5]
+	r[7] = a[6]
+	return r
+}
+
+// AES builds a combinational AES-128 encryption datapath with the given
+// number of rounds (1..10). With rounds == 10 this is full AES-128
+// (verified against crypto/aes in the tests); smaller values give the
+// scaled-down fast profile. The key schedule is synthesised into logic as
+// well, as in the OpenCores AES core the paper maps.
+func AES(rounds int) *aig.AIG {
+	if rounds < 1 || rounds > 10 {
+		panic("circuits: AES rounds must be in 1..10")
+	}
+	b := NewBuilder(fmt.Sprintf("aes_r%d", rounds))
+	tbl := sboxTable()
+
+	// State and key are 16 bytes, AES column-major order: byte index
+	// r + 4c holds state[r][c].
+	plain := make([]Word, 16)
+	key := make([]Word, 16)
+	for i := 0; i < 16; i++ {
+		plain[i] = b.Input(fmt.Sprintf("pt%d", i), 8)
+	}
+	for i := 0; i < 16; i++ {
+		key[i] = b.Input(fmt.Sprintf("key%d", i), 8)
+	}
+
+	xorBytes := func(x, y Word) Word { return b.XorW(x, y) }
+
+	// Key schedule: 4-byte words w[0..4*(rounds+1)-1].
+	type kw [4]Word
+	w := make([]kw, 4*(rounds+1))
+	for i := 0; i < 4; i++ {
+		w[i] = kw{key[4*i], key[4*i+1], key[4*i+2], key[4*i+3]}
+	}
+	rcon := byte(1)
+	gfDouble := func(x byte) byte {
+		h := x & 0x80
+		x <<= 1
+		if h != 0 {
+			x ^= 0x1b
+		}
+		return x
+	}
+	for i := 4; i < len(w); i++ {
+		prev := w[i-1]
+		if i%4 == 0 {
+			// RotWord + SubWord + Rcon.
+			var t kw
+			t[0] = sboxLogic(b, prev[1], &tbl)
+			t[1] = sboxLogic(b, prev[2], &tbl)
+			t[2] = sboxLogic(b, prev[3], &tbl)
+			t[3] = sboxLogic(b, prev[0], &tbl)
+			t[0] = xorBytes(t[0], b.Const(uint64(rcon), 8))
+			rcon = gfDouble(rcon)
+			prev = t
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = xorBytes(w[i-4][j], prev[j])
+		}
+	}
+	roundKey := func(r int) []Word {
+		rk := make([]Word, 16)
+		for c := 0; c < 4; c++ {
+			for rr := 0; rr < 4; rr++ {
+				rk[rr+4*c] = w[4*r+c][rr]
+			}
+		}
+		return rk
+	}
+
+	// Initial AddRoundKey.
+	state := make([]Word, 16)
+	rk0 := roundKey(0)
+	for i := range state {
+		state[i] = xorBytes(plain[i], rk0[i])
+	}
+
+	for r := 1; r <= rounds; r++ {
+		// SubBytes.
+		for i := range state {
+			state[i] = sboxLogic(b, state[i], &tbl)
+		}
+		// ShiftRows: new[r][c] = old[r][(c+r)%4].
+		shifted := make([]Word, 16)
+		for row := 0; row < 4; row++ {
+			for c := 0; c < 4; c++ {
+				shifted[row+4*c] = state[row+4*((c+row)%4)]
+			}
+		}
+		state = shifted
+		// MixColumns on every round except the last when running the full
+		// 10 rounds (AES spec); scaled-down profiles keep it in all rounds
+		// except their final one too, matching the spec shape.
+		if r != rounds {
+			mixed := make([]Word, 16)
+			for c := 0; c < 4; c++ {
+				a0, a1, a2, a3 := state[4*c], state[1+4*c], state[2+4*c], state[3+4*c]
+				x0, x1, x2, x3 := xtimeLogic(b, a0), xtimeLogic(b, a1), xtimeLogic(b, a2), xtimeLogic(b, a3)
+				// 2a0 ^ 3a1 ^ a2 ^ a3, etc.
+				mixed[4*c] = xorBytes(xorBytes(x0, xorBytes(x1, a1)), xorBytes(a2, a3))
+				mixed[1+4*c] = xorBytes(xorBytes(a0, x1), xorBytes(xorBytes(x2, a2), a3))
+				mixed[2+4*c] = xorBytes(xorBytes(a0, a1), xorBytes(x2, xorBytes(x3, a3)))
+				mixed[3+4*c] = xorBytes(xorBytes(xorBytes(x0, a0), a1), xorBytes(a2, x3))
+			}
+			state = mixed
+		}
+		rk := roundKey(r)
+		for i := range state {
+			state[i] = xorBytes(state[i], rk[i])
+		}
+	}
+
+	for i := range state {
+		b.Output(fmt.Sprintf("ct%d", i), state[i])
+	}
+	return b.G
+}

@@ -1,0 +1,159 @@
+package circuits
+
+import (
+	"fmt"
+
+	"slap/internal/aig"
+)
+
+// This file provides the remaining EPFL-style arithmetic blocks — divider,
+// square root, log2 and hypotenuse — which the paper explicitly skipped
+// ("the biggest arithmetic blocks' results are not present as the
+// data-frame generation with pandas takes too long", §V-C). This Go
+// implementation has no such bottleneck, so the generators are included
+// both for completeness and as additional stress tests for the mapper.
+
+// Divider builds an n-bit unsigned restoring divider producing quotient and
+// remainder. Division by zero yields quotient all-ones and remainder x (the
+// natural result of the restoring recurrence with d = 0).
+func Divider(n int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("div%d", n))
+	x := b.Input("x", n)
+	d := b.Input("d", n)
+	// Remainder register is one bit wider than the divisor so the trial
+	// subtraction never overflows.
+	w := n + 1
+	dw := b.Extend(d, w, false)
+	rem := b.Const(0, w)
+	q := make(Word, n)
+	for i := n - 1; i >= 0; i-- {
+		// rem = (rem << 1) | x[i]
+		shifted := b.ShiftLeftConst(rem, 1)
+		shifted[0] = x[i]
+		diff, noBorrow := b.Sub(shifted, dw)
+		q[i] = noBorrow
+		rem = b.MuxW(noBorrow, diff, shifted)
+	}
+	b.Output("q", q)
+	b.Output("r", Word(rem[:n]))
+	return b.G
+}
+
+// Sqrt builds an n-bit unsigned integer square root (n even) using the
+// digit-by-digit (non-restoring radix-2) recurrence. The output has n/2
+// bits: floor(sqrt(x)).
+func Sqrt(n int) *aig.AIG {
+	if n%2 != 0 {
+		panic("circuits: Sqrt width must be even")
+	}
+	b := NewBuilder(fmt.Sprintf("sqrt%d", n))
+	x := b.Input("x", n)
+	half := n / 2
+	w := half + 2 // remainder width: rem < 2*root + 4
+	rem := b.Const(0, w)
+	root := b.Const(0, half)
+	for i := half - 1; i >= 0; i-- {
+		// rem = (rem << 2) | next two input bits.
+		shifted := b.ShiftLeftConst(rem, 2)
+		shifted[1] = x[2*i+1]
+		shifted[0] = x[2*i]
+		// trial = (root << 2) | 1, truncated to w bits.
+		trial := b.Const(0, w)
+		for j := 0; j < half && j+2 < w; j++ {
+			trial[j+2] = root[j]
+		}
+		trial[0] = aig.ConstTrue
+		diff, noBorrow := b.Sub(shifted, trial)
+		rem = b.MuxW(noBorrow, diff, shifted)
+		// root = (root << 1) | bit.
+		root = b.ShiftLeftConst(root, 1)
+		root[0] = noBorrow
+	}
+	b.Output("root", root)
+	return b.G
+}
+
+// Log2 builds an n-bit fixed-point log2 approximation: the integer part is
+// the leading-one position (priority encoder) and the fraction is the
+// linearised normalised mantissa — log2(x) ~= p + (x/2^p - 1) for
+// 2^p <= x < 2^(p+1). Output: ilog[log2(n) bits] integer part, frac[fracBits]
+// fraction, plus a zero flag (log2(0) is undefined).
+func Log2(n, fracBits int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("log2_%d", n))
+	x := b.Input("x", n)
+
+	logN := 0
+	for 1<<uint(logN) < n {
+		logN++
+	}
+	// Priority encoder: position of the most significant set bit.
+	pos := b.Const(0, logN)
+	found := aig.ConstFalse
+	for i := n - 1; i >= 0; i-- {
+		isLead := b.G.And(x[i], found.Not())
+		for j := 0; j < logN; j++ {
+			if i>>uint(j)&1 == 1 {
+				pos[j] = b.G.Or(pos[j], isLead)
+			}
+		}
+		found = b.G.Or(found, x[i])
+	}
+	// Normalised mantissa: shift x left so the leading one lands at the
+	// top, then take the bits below it as the fraction.
+	shiftAmt := make(Word, logN)
+	nm1 := b.Const(uint64(n-1), logN)
+	shiftAmt, _ = b.Sub(nm1, pos)
+	norm := b.ShiftLeftVar(x, shiftAmt)
+	frac := make(Word, fracBits)
+	for i := 0; i < fracBits; i++ {
+		src := n - 2 - i // bits right below the (shifted) leading one
+		if src >= 0 {
+			frac[fracBits-1-i] = norm[src]
+		} else {
+			frac[fracBits-1-i] = aig.ConstFalse
+		}
+	}
+	b.Output("ilog", pos)
+	b.Output("frac", frac)
+	b.G.AddPO("is_zero", found.Not())
+	return b.G
+}
+
+// Hypot builds floor(sqrt(x^2 + y^2)) for n-bit unsigned inputs (the EPFL
+// "hypotenuse" block): two squarers, an adder and a digit-recurrence square
+// root composed into one datapath.
+func Hypot(n int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("hypot%d", n))
+	x := b.Input("x", n)
+	y := b.Input("y", n)
+	x2 := b.Square(x)
+	y2 := b.Square(y)
+	sum, carry := b.RippleAdd(x2, y2, aig.ConstFalse)
+	// Widen to 2n+2 bits (even) so the sum always fits.
+	s := make(Word, 2*n+2)
+	copy(s, sum)
+	s[2*n] = carry
+	s[2*n+1] = aig.ConstFalse
+
+	// Inline digit-by-digit square root over the sum.
+	half := (2*n + 2) / 2
+	w := half + 2
+	rem := b.Const(0, w)
+	root := b.Const(0, half)
+	for i := half - 1; i >= 0; i-- {
+		shifted := b.ShiftLeftConst(rem, 2)
+		shifted[1] = s[2*i+1]
+		shifted[0] = s[2*i]
+		trial := b.Const(0, w)
+		for j := 0; j < half && j+2 < w; j++ {
+			trial[j+2] = root[j]
+		}
+		trial[0] = aig.ConstTrue
+		diff, noBorrow := b.Sub(shifted, trial)
+		rem = b.MuxW(noBorrow, diff, shifted)
+		root = b.ShiftLeftConst(root, 1)
+		root[0] = noBorrow
+	}
+	b.Output("h", root)
+	return b.G
+}

@@ -1,0 +1,148 @@
+package circuits
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDivider(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{4, 8, 12} {
+		g := Divider(n)
+		x := randVals(rng, 64, n)
+		d := randVals(rng, 64, n)
+		// Corner cases: divide by 1, equal operands, zero dividend.
+		d[0] = 1
+		x[1], d[1] = 37%uint64(1<<uint(n)), 37%uint64(1<<uint(n))
+		x[2] = 0
+		for l := range d {
+			if d[l] == 0 {
+				d[l] = 1 // division by zero checked separately
+			}
+		}
+		pos := g.Simulate(packWords([]int{n, n}, [][]uint64{x, d}))
+		q := unpackWord(pos, 0, n, 64)
+		r := unpackWord(pos, n, n, 64)
+		for l := 0; l < 64; l++ {
+			if q[l] != x[l]/d[l] || r[l] != x[l]%d[l] {
+				t.Fatalf("div%d lane %d: %d/%d = (%d,%d), want (%d,%d)",
+					n, l, x[l], d[l], q[l], r[l], x[l]/d[l], x[l]%d[l])
+			}
+		}
+	}
+}
+
+func TestDividerByZero(t *testing.T) {
+	const n = 8
+	g := Divider(n)
+	pos := g.Simulate(packWords([]int{n, n}, [][]uint64{{200}, {0}}))
+	q := unpackWord(pos, 0, n, 1)
+	r := unpackWord(pos, n, n, 1)
+	if q[0] != 0xFF || r[0] != 200 {
+		t.Fatalf("div by zero: q=%d r=%d, want 255, 200", q[0], r[0])
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, n := range []int{8, 16, 24} {
+		g := Sqrt(n)
+		x := randVals(rng, 64, n)
+		x[0] = 0
+		x[1] = uint64(1)<<uint(n) - 1
+		x[2] = 1
+		pos := g.Simulate(packWords([]int{n}, [][]uint64{x}))
+		root := unpackWord(pos, 0, n/2, 64)
+		for l := 0; l < 64; l++ {
+			want := uint64(math.Sqrt(float64(x[l])))
+			// Guard against float rounding at perfect-square boundaries.
+			for want*want > x[l] {
+				want--
+			}
+			for (want+1)*(want+1) <= x[l] {
+				want++
+			}
+			if root[l] != want {
+				t.Fatalf("sqrt%d lane %d: sqrt(%d) = %d, want %d", n, l, x[l], root[l], want)
+			}
+		}
+	}
+}
+
+func TestSqrtOddWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("odd width must panic")
+		}
+	}()
+	Sqrt(7)
+}
+
+func TestLog2(t *testing.T) {
+	const n, fracBits = 16, 6
+	g := Log2(n, fracBits)
+	rng := rand.New(rand.NewSource(53))
+	x := randVals(rng, 64, n)
+	x[0] = 0
+	x[1] = 1
+	x[2] = 1 << (n - 1)
+	pos := g.Simulate(packWords([]int{n}, [][]uint64{x}))
+	ilog := unpackWord(pos, 0, 4, 64)
+	frac := unpackWord(pos, 4, fracBits, 64)
+	isZero := unpackWord(pos, 4+fracBits, 1, 64)
+	for l := 0; l < 64; l++ {
+		if x[l] == 0 {
+			if isZero[l] != 1 {
+				t.Fatalf("zero flag missing for x=0")
+			}
+			continue
+		}
+		wantI := uint64(0)
+		for p := uint64(x[l]); p > 1; p >>= 1 {
+			wantI++
+		}
+		if ilog[l] != wantI {
+			t.Fatalf("ilog(%d) = %d, want %d", x[l], ilog[l], wantI)
+		}
+		// Linear fraction: (x/2^p - 1) in fracBits bits.
+		wantF := (x[l]<<uint(fracBits)>>wantI - 1<<fracBits) & (1<<fracBits - 1)
+		if frac[l] != wantF {
+			t.Fatalf("frac(%d) = %#x, want %#x", x[l], frac[l], wantF)
+		}
+		// The approximation itself must be within 0.1 of true log2.
+		approx := float64(wantI) + float64(frac[l])/float64(uint64(1)<<fracBits)
+		if diff := math.Abs(approx - math.Log2(float64(x[l]))); diff > 0.1 {
+			t.Fatalf("log2(%d) approx %.3f off by %.3f", x[l], approx, diff)
+		}
+	}
+}
+
+func TestHypot(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for _, n := range []int{6, 10} {
+		g := Hypot(n)
+		x := randVals(rng, 64, n)
+		y := randVals(rng, 64, n)
+		x[0], y[0] = 3, 4 // hypot = 5
+		x[1], y[1] = 0, 0
+		mx := uint64(1)<<uint(n) - 1
+		x[2], y[2] = mx, mx
+		half := (2*n + 2) / 2
+		pos := g.Simulate(packWords([]int{n, n}, [][]uint64{x, y}))
+		h := unpackWord(pos, 0, half, 64)
+		for l := 0; l < 64; l++ {
+			sum := x[l]*x[l] + y[l]*y[l]
+			want := uint64(math.Sqrt(float64(sum)))
+			for want*want > sum {
+				want--
+			}
+			for (want+1)*(want+1) <= sum {
+				want++
+			}
+			if h[l] != want {
+				t.Fatalf("hypot%d lane %d: hypot(%d,%d) = %d, want %d", n, l, x[l], y[l], h[l], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,503 @@
+package circuits
+
+import (
+	"crypto/aes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"slap/internal/aig"
+)
+
+// packWords packs per-lane integer values into the bit-sliced PI words the
+// simulator expects. widths[i] is the bit width of input word i; vals[i][l]
+// is the value of word i in lane l (up to 64 lanes).
+func packWords(widths []int, vals [][]uint64) []uint64 {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	out := make([]uint64, total)
+	off := 0
+	for wi, w := range widths {
+		for bit := 0; bit < w; bit++ {
+			var packed uint64
+			for lane, v := range vals[wi] {
+				packed |= (v >> uint(bit) & 1) << uint(lane)
+			}
+			out[off+bit] = packed
+		}
+		off += w
+	}
+	return out
+}
+
+// unpackWord extracts the lane values of an output word spanning POs
+// [off, off+width).
+func unpackWord(poVals []uint64, off, width, lanes int) []uint64 {
+	out := make([]uint64, lanes)
+	for bit := 0; bit < width; bit++ {
+		pv := poVals[off+bit]
+		for lane := 0; lane < lanes; lane++ {
+			out[lane] |= (pv >> uint(lane) & 1) << uint(bit)
+		}
+	}
+	return out
+}
+
+func randVals(rng *rand.Rand, n int, bits int) []uint64 {
+	out := make([]uint64, n)
+	mask := ^uint64(0)
+	if bits < 64 {
+		mask = (1 << uint(bits)) - 1
+	}
+	for i := range out {
+		out[i] = rng.Uint64() & mask
+	}
+	return out
+}
+
+func TestAdderArchitectures(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		name string
+		gen  func(int) *aig.AIG
+	}{
+		{"ripple", RippleCarryAdder},
+		{"cla", CarryLookaheadAdder},
+		{"koggestone", PrefixAdder},
+	} {
+		for _, n := range []int{8, 16, 33} {
+			if tc.name == "koggestone" && n == 33 {
+				continue // power-of-two friendly widths only in this test
+			}
+			g := tc.gen(n)
+			a := randVals(rng, 64, n)
+			b := randVals(rng, 64, n)
+			pis := packWords([]int{n, n}, [][]uint64{a, b})
+			pos := g.Simulate(pis)
+			sums := unpackWord(pos, 0, n, 64)
+			couts := unpackWord(pos, n, 1, 64)
+			mask := uint64(1)<<uint(n) - 1
+			for l := 0; l < 64; l++ {
+				full := a[l] + b[l]
+				if sums[l] != full&mask {
+					t.Fatalf("%s/%d lane %d: %d+%d = %d, want %d", tc.name, n, l, a[l], b[l], sums[l], full&mask)
+				}
+				if couts[l] != full>>uint(n)&1 {
+					t.Fatalf("%s/%d lane %d: carry wrong", tc.name, n, l)
+				}
+			}
+		}
+	}
+}
+
+func TestSubAndComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n = 16
+	b := NewBuilder("cmp")
+	x := b.Input("x", n)
+	y := b.Input("y", n)
+	diff, noBorrow := b.Sub(x, y)
+	b.Output("d", diff)
+	b.G.AddPO("nb", noBorrow)
+	b.G.AddPO("lt", b.LessUnsigned(x, y))
+	b.G.AddPO("eq", b.Equal(x, y))
+	xv := randVals(rng, 64, n)
+	yv := randVals(rng, 64, n)
+	xv[0], yv[0] = 5, 5 // force an equal pair
+	pos := b.G.Simulate(packWords([]int{n, n}, [][]uint64{xv, yv}))
+	d := unpackWord(pos, 0, n, 64)
+	nb := unpackWord(pos, n, 1, 64)
+	lt := unpackWord(pos, n+1, 1, 64)
+	eq := unpackWord(pos, n+2, 1, 64)
+	mask := uint64(1)<<n - 1
+	for l := 0; l < 64; l++ {
+		if d[l] != (xv[l]-yv[l])&mask {
+			t.Fatalf("sub lane %d wrong", l)
+		}
+		if (nb[l] == 1) != (xv[l] >= yv[l]) {
+			t.Fatalf("noBorrow lane %d wrong", l)
+		}
+		if (lt[l] == 1) != (xv[l] < yv[l]) {
+			t.Fatalf("less lane %d wrong", l)
+		}
+		if (eq[l] == 1) != (xv[l] == yv[l]) {
+			t.Fatalf("equal lane %d wrong", l)
+		}
+	}
+}
+
+func TestArrayMultiplier(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{4, 8, 12} {
+		g := ArrayMultiplier(n)
+		a := randVals(rng, 64, n)
+		b := randVals(rng, 64, n)
+		pos := g.Simulate(packWords([]int{n, n}, [][]uint64{a, b}))
+		p := unpackWord(pos, 0, 2*n, 64)
+		for l := 0; l < 64; l++ {
+			if p[l] != a[l]*b[l] {
+				t.Fatalf("mul%d lane %d: %d*%d = %d, want %d", n, l, a[l], b[l], p[l], a[l]*b[l])
+			}
+		}
+	}
+}
+
+func TestBoothMultiplierSigned(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{4, 8, 16} {
+		g := BoothMultiplier(n)
+		a := randVals(rng, 64, n)
+		b := randVals(rng, 64, n)
+		// Include corner cases.
+		a[0], b[0] = uint64(1)<<uint(n-1), uint64(1)<<uint(n-1) // most negative
+		a[1], b[1] = 0, uint64(1)<<uint(n)-1
+		pos := g.Simulate(packWords([]int{n, n}, [][]uint64{a, b}))
+		p := unpackWord(pos, 0, 2*n, 64)
+		signExt := func(v uint64) int64 {
+			shift := uint(64 - n)
+			return int64(v<<shift) >> shift
+		}
+		mask := uint64(1)<<uint(2*n) - 1
+		for l := 0; l < 64; l++ {
+			want := uint64(signExt(a[l])*signExt(b[l])) & mask
+			if p[l] != want {
+				t.Fatalf("booth%d lane %d: %d*%d = %#x, want %#x", n, l, signExt(a[l]), signExt(b[l]), p[l], want)
+			}
+		}
+	}
+}
+
+func TestSquarer(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{4, 8, 16} {
+		g := Squarer(n)
+		a := randVals(rng, 64, n)
+		a[0] = uint64(1)<<uint(n) - 1
+		pos := g.Simulate(packWords([]int{n}, [][]uint64{a}))
+		p := unpackWord(pos, 0, 2*n, 64)
+		for l := 0; l < 64; l++ {
+			if p[l] != a[l]*a[l] {
+				t.Fatalf("square%d lane %d: %d^2 = %d, want %d", n, l, a[l], p[l], a[l]*a[l])
+			}
+		}
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	const w = 32
+	g := BarrelShifter(w)
+	d := randVals(rng, 64, w)
+	sh := randVals(rng, 64, 5)
+	pos := g.Simulate(packWords([]int{w, 5}, [][]uint64{d, sh}))
+	q := unpackWord(pos, 0, w, 64)
+	mask := uint64(1)<<w - 1
+	for l := 0; l < 64; l++ {
+		k := sh[l] % w
+		want := (d[l]<<k | d[l]>>(w-k)) & mask
+		if k == 0 {
+			want = d[l]
+		}
+		if q[l] != want {
+			t.Fatalf("rotl lane %d: rot(%#x,%d) = %#x, want %#x", l, d[l], k, q[l], want)
+		}
+	}
+}
+
+func TestVariableShifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const w = 32
+	b := NewBuilder("sh")
+	x := b.Input("x", w)
+	sh := b.Input("sh", 5)
+	b.Output("sll", b.ShiftLeftVar(x, sh))
+	b.Output("srl", b.ShiftRightLogic(x, sh, false))
+	b.Output("sra", b.ShiftRightLogic(x, sh, true))
+	xv := randVals(rng, 64, w)
+	sv := randVals(rng, 64, 5)
+	pos := b.G.Simulate(packWords([]int{w, 5}, [][]uint64{xv, sv}))
+	sll := unpackWord(pos, 0, w, 64)
+	srl := unpackWord(pos, w, w, 64)
+	sra := unpackWord(pos, 2*w, w, 64)
+	mask := uint64(1)<<w - 1
+	for l := 0; l < 64; l++ {
+		k := uint(sv[l] % 32)
+		if sll[l] != xv[l]<<k&mask {
+			t.Fatalf("sll lane %d wrong", l)
+		}
+		if srl[l] != xv[l]>>k {
+			t.Fatalf("srl lane %d wrong", l)
+		}
+		wantSra := uint64(int32(uint32(xv[l]))>>k) & mask
+		if sra[l] != wantSra {
+			t.Fatalf("sra lane %d: %#x >> %d = %#x, want %#x", l, xv[l], k, sra[l], wantSra)
+		}
+	}
+}
+
+func TestMulConst(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	const n = 24
+	for _, c := range []uint64{0, 1, 3, 10, 0x55, 12345} {
+		b := NewBuilder("mc")
+		x := b.Input("x", n)
+		b.Output("p", b.MulConst(x, c))
+		xv := randVals(rng, 64, n)
+		pos := b.G.Simulate(packWords([]int{n}, [][]uint64{xv}))
+		p := unpackWord(pos, 0, n, 64)
+		mask := uint64(1)<<n - 1
+		for l := 0; l < 64; l++ {
+			if p[l] != xv[l]*c&mask {
+				t.Fatalf("mulconst %d lane %d wrong", c, l)
+			}
+		}
+	}
+}
+
+func TestMaxTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	const k, w = 4, 16
+	g := MaxTree(k, w)
+	vals := make([][]uint64, k)
+	for i := range vals {
+		vals[i] = randVals(rng, 64, w)
+	}
+	widths := []int{w, w, w, w}
+	pos := g.Simulate(packWords(widths, vals))
+	m := unpackWord(pos, 0, w, 64)
+	for l := 0; l < 64; l++ {
+		want := uint64(0)
+		for i := 0; i < k; i++ {
+			if vals[i][l] > want {
+				want = vals[i][l]
+			}
+		}
+		if m[l] != want {
+			t.Fatalf("max lane %d: got %d want %d", l, m[l], want)
+		}
+	}
+}
+
+func TestALUCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	const w = 16
+	g := ALUCompare(w)
+	a := randVals(rng, 64, w)
+	b := randVals(rng, 64, w)
+	a[0], b[0] = 9, 9
+	pos := g.Simulate(packWords([]int{w, w}, [][]uint64{a, b}))
+	sum := unpackWord(pos, 0, w, 64)
+	lt := unpackWord(pos, w+1, 1, 64)
+	eq := unpackWord(pos, w+2, 1, 64)
+	gt := unpackWord(pos, w+3, 1, 64)
+	pa := unpackWord(pos, w+4, 1, 64)
+	mask := uint64(1)<<w - 1
+	parity := func(v uint64) uint64 {
+		var p uint64
+		for v != 0 {
+			p ^= v & 1
+			v >>= 1
+		}
+		return p
+	}
+	for l := 0; l < 64; l++ {
+		if sum[l] != (a[l]+b[l])&mask {
+			t.Fatalf("sum lane %d wrong", l)
+		}
+		if (lt[l] == 1) != (a[l] < b[l]) || (eq[l] == 1) != (a[l] == b[l]) || (gt[l] == 1) != (a[l] > b[l]) {
+			t.Fatalf("comparison lane %d wrong", l)
+		}
+		if pa[l] != parity(a[l]) {
+			t.Fatalf("parity lane %d wrong", l)
+		}
+	}
+}
+
+func TestSinePoly(t *testing.T) {
+	const n = 12
+	g := SinePoly(n)
+	rng := rand.New(rand.NewSource(21))
+	x := randVals(rng, 64, n)
+	pos := g.Simulate(packWords([]int{n}, [][]uint64{x}))
+	s := unpackWord(pos, 0, n, 64)
+	scale := float64(uint64(1) << n)
+	for l := 0; l < 64; l++ {
+		xf := float64(x[l]) / scale
+		want := math.Sin(xf)
+		got := float64(s[l]) / scale
+		// Fixed-point truncation and the 2-term-truncated Taylor series
+		// bound the error; 2% absolute is ample for x in [0,1).
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("sin(%f) = %f, want ~%f", xf, got, want)
+		}
+	}
+}
+
+func TestSBoxLogicMatchesTable(t *testing.T) {
+	tbl := SBoxTable()
+	// Sanity-check a few known AES S-box values first.
+	known := map[int]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16}
+	for in, want := range known {
+		if tbl[in] != want {
+			t.Fatalf("sbox[%#x] = %#x, want %#x (table generation wrong)", in, tbl[in], want)
+		}
+	}
+	b := NewBuilder("sbox")
+	in := b.Input("x", 8)
+	b.Output("y", sboxLogic(b, in, &tbl))
+	// Exhaustive check over all 256 inputs, 64 lanes at a time.
+	for base := 0; base < 256; base += 64 {
+		vals := make([]uint64, 64)
+		for l := range vals {
+			vals[l] = uint64(base + l)
+		}
+		pos := b.G.Simulate(packWords([]int{8}, [][]uint64{vals}))
+		out := unpackWord(pos, 0, 8, 64)
+		for l := 0; l < 64; l++ {
+			if byte(out[l]) != tbl[base+l] {
+				t.Fatalf("sbox logic wrong at %#x: got %#x want %#x", base+l, out[l], tbl[base+l])
+			}
+		}
+	}
+}
+
+func TestAESFullMatchesCryptoAES(t *testing.T) {
+	g := AES(10)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 4; trial++ {
+		var pt, key [16]byte
+		rng.Read(pt[:])
+		rng.Read(key[:])
+		// One lane only: replicate scalar bits.
+		piVals := make([][]uint64, 32)
+		widths := make([]int, 32)
+		for i := 0; i < 16; i++ {
+			widths[i] = 8
+			piVals[i] = []uint64{uint64(pt[i])}
+		}
+		for i := 0; i < 16; i++ {
+			widths[16+i] = 8
+			piVals[16+i] = []uint64{uint64(key[i])}
+		}
+		pos := g.Simulate(packWords(widths, piVals))
+		var got [16]byte
+		for i := 0; i < 16; i++ {
+			got[i] = byte(unpackWord(pos, 8*i, 8, 1)[0])
+		}
+		block, err := aes.NewCipher(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [16]byte
+		block.Encrypt(want[:], pt[:])
+		if got != want {
+			t.Fatalf("AES mismatch:\n got %x\nwant %x", got, want)
+		}
+	}
+}
+
+func TestAESScaledRoundsBuild(t *testing.T) {
+	for _, r := range []int{1, 2} {
+		g := AES(r)
+		if g.NumAnds() == 0 || g.NumPIs() != 256 || g.NumPOs() != 128 {
+			t.Fatalf("AES(%d) malformed: %s", r, g.Stats())
+		}
+	}
+}
+
+func TestRiscVCore(t *testing.T) {
+	g := RiscVCore()
+	run := func(instr, rs1, rs2, pc uint32) (wb, nextPC, memAddr uint32, takeBr bool) {
+		pis := packWords([]int{32, 32, 32, 32},
+			[][]uint64{{uint64(instr)}, {uint64(rs1)}, {uint64(rs2)}, {uint64(pc)}})
+		pos := g.Simulate(pis)
+		wb = uint32(unpackWord(pos, 0, 32, 1)[0])
+		nextPC = uint32(unpackWord(pos, 32, 32, 1)[0])
+		memAddr = uint32(unpackWord(pos, 64, 32, 1)[0])
+		takeBr = unpackWord(pos, 96, 1, 1)[0] == 1
+		return
+	}
+	// add x?, rs1, rs2 : R-type opcode 0110011 funct3 000 funct7 0000000
+	enc := func(funct7, rs2f, rs1f, funct3, rd, opcode uint32) uint32 {
+		return funct7<<25 | rs2f<<20 | rs1f<<15 | funct3<<12 | rd<<5>>5<<7 | opcode
+	}
+	if wb, _, _, _ := run(enc(0, 2, 1, 0b000, 3, 0b0110011), 100, 23, 0); wb != 123 {
+		t.Errorf("ADD: wb = %d, want 123", wb)
+	}
+	if wb, _, _, _ := run(enc(0b0100000, 2, 1, 0b000, 3, 0b0110011), 100, 23, 0); wb != 77 {
+		t.Errorf("SUB: wb = %d, want 77", wb)
+	}
+	if wb, _, _, _ := run(enc(0, 2, 1, 0b100, 3, 0b0110011), 0xF0F0, 0x0FF0, 0); wb != 0xFF00 {
+		t.Errorf("XOR: wb = %#x, want 0xFF00", wb)
+	}
+	if wb, _, _, _ := run(enc(0, 2, 1, 0b001, 3, 0b0110011), 1, 4, 0); wb != 16 {
+		t.Errorf("SLL: wb = %d, want 16", wb)
+	}
+	if wb, _, _, _ := run(enc(0b0100000, 2, 1, 0b101, 3, 0b0110011), 0x80000000, 4, 0); wb != 0xF8000000 {
+		t.Errorf("SRA: wb = %#x, want 0xF8000000", wb)
+	}
+	// addi x3, x1, -5 : imm=0xFFB opcode 0010011
+	addi := uint32(0xFFB)<<20 | 1<<15 | 0b000<<12 | 3<<7 | 0b0010011
+	if wb, _, _, _ := run(addi, 100, 0, 0); wb != 95 {
+		t.Errorf("ADDI: wb = %d, want 95", wb)
+	}
+	// beq taken: opcode 1100011 funct3 000, offset +8 (imm[3:1]=100 -> instr[11:8]=0100)
+	beq := uint32(0b0100<<8 | 0b000<<12 | 0b1100011)
+	if _, nextPC, _, br := run(beq, 7, 7, 0x1000); !br || nextPC != 0x1008 {
+		t.Errorf("BEQ taken: br=%v nextPC=%#x, want true 0x1008", br, nextPC)
+	}
+	if _, nextPC, _, br := run(beq, 7, 8, 0x1000); br || nextPC != 0x1004 {
+		t.Errorf("BEQ not taken: br=%v nextPC=%#x, want false 0x1004", br, nextPC)
+	}
+	// lui x3, 0xABCDE
+	lui := uint32(0xABCDE)<<12 | 3<<7 | 0b0110111
+	if wb, _, _, _ := run(lui, 0, 0, 0); wb != 0xABCDE000 {
+		t.Errorf("LUI: wb = %#x, want 0xABCDE000", wb)
+	}
+	// lw x3, 12(x1): mem_addr = rs1 + 12
+	lw := uint32(12)<<20 | 1<<15 | 0b010<<12 | 3<<7 | 0b0000011
+	if _, _, addr, _ := run(lw, 0x2000, 0, 0); addr != 0x200C {
+		t.Errorf("LW addr = %#x, want 0x200C", addr)
+	}
+	// slt: 5 < -3 signed is false; sltu: 5 < 0xFFFFFFFD is true
+	if wb, _, _, _ := run(enc(0, 2, 1, 0b010, 3, 0b0110011), 5, 0xFFFFFFFD, 0); wb != 0 {
+		t.Errorf("SLT signed: wb = %d, want 0", wb)
+	}
+	if wb, _, _, _ := run(enc(0, 2, 1, 0b011, 3, 0b0110011), 5, 0xFFFFFFFD, 0); wb != 1 {
+		t.Errorf("SLTU: wb = %d, want 1", wb)
+	}
+	// jal x1, +16
+	jal := uint32(16>>1)<<21 | 1<<7 | 0b1101111
+	if wb, nextPC, _, _ := run(jal, 0, 0, 0x4000); nextPC != 0x4010 || wb != 0x4004 {
+		t.Errorf("JAL: nextPC=%#x wb=%#x, want 0x4010 0x4004", nextPC, wb)
+	}
+}
+
+func TestGeneratorStats(t *testing.T) {
+	// Smoke-test that the Table II generators build non-trivial graphs.
+	cases := []struct {
+		g       *aig.AIG
+		minAnds int
+	}{
+		{TrainRC16(), 50},
+		{TrainCLA16(), 50},
+		{PrefixAdder(64), 300},
+		{BarrelShifter(64), 300},
+		{C6288(), 1500},
+		{MaxTree(4, 32), 300},
+		{RippleCarryAdder(64), 300},
+		{C7552(), 300},
+		{BoothMultiplier(16), 1000},
+		{Squarer(16), 500},
+		{SinePoly(12), 500},
+		{RiscVCore(), 1500},
+		{AES(1), 3000},
+	}
+	for _, c := range cases {
+		if c.g.NumAnds() < c.minAnds {
+			t.Errorf("%s: only %d ANDs, expected at least %d", c.g.Name, c.g.NumAnds(), c.minAnds)
+		}
+	}
+}

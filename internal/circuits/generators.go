@@ -1,0 +1,309 @@
+package circuits
+
+import (
+	"fmt"
+
+	"slap/internal/aig"
+)
+
+// TrainRC16 returns the 16-bit ripple-carry adder used to generate training
+// data (paper §V-A).
+func TrainRC16() *aig.AIG { return RippleCarryAdder(16) }
+
+// TrainCLA16 returns the 16-bit carry-lookahead adder used to generate
+// training data (paper §V-A).
+func TrainCLA16() *aig.AIG { return CarryLookaheadAdder(16) }
+
+// RippleCarryAdder builds an n-bit ripple-carry adder ("rc64b"/"rc256b" in
+// Table II, via the ABC gen command in the paper).
+func RippleCarryAdder(n int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("rc%db", n))
+	x := b.Input("a", n)
+	y := b.Input("b", n)
+	sum, cout := b.RippleAdd(x, y, aig.ConstFalse)
+	b.Output("s", sum)
+	b.G.AddPO("cout", cout)
+	return b.G
+}
+
+// CarryLookaheadAdder builds an n-bit adder from 4-bit lookahead blocks.
+func CarryLookaheadAdder(n int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("cla%db", n))
+	x := b.Input("a", n)
+	y := b.Input("b", n)
+	sum, cout := b.CLAAdd(x, y, aig.ConstFalse)
+	b.Output("s", sum)
+	b.G.AddPO("cout", cout)
+	return b.G
+}
+
+// PrefixAdder builds an n-bit Kogge-Stone adder (the EPFL "adder"
+// benchmark stand-in).
+func PrefixAdder(n int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("adder%d", n))
+	x := b.Input("a", n)
+	y := b.Input("b", n)
+	sum, cout := b.KoggeStoneAdd(x, y, aig.ConstFalse)
+	b.Output("s", sum)
+	b.G.AddPO("cout", cout)
+	return b.G
+}
+
+// BarrelShifter builds a w-bit rotate-left barrel shifter with log2(w)
+// control bits (the EPFL "bar" benchmark stand-in). w must be a power of
+// two.
+func BarrelShifter(w int) *aig.AIG {
+	if w&(w-1) != 0 || w == 0 {
+		panic("circuits: BarrelShifter width must be a power of two")
+	}
+	log := 0
+	for 1<<uint(log) < w {
+		log++
+	}
+	b := NewBuilder(fmt.Sprintf("bar%d", w))
+	data := b.Input("d", w)
+	sh := b.Input("sh", log)
+	b.Output("q", b.RotateLeft(data, sh))
+	return b.G
+}
+
+// ArrayMultiplier builds an n x n unsigned array multiplier with a 2n-bit
+// product. With n = 16 this is the architecture of ISCAS c6288; the
+// "64b_mult" row of Table II uses the same generator at a larger width.
+func ArrayMultiplier(n int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("mul%d_array", n))
+	x := b.Input("a", n)
+	y := b.Input("b", n)
+	b.Output("p", b.MulArray(x, y))
+	return b.G
+}
+
+// C6288 builds the 16x16 array multiplier corresponding to ISCAS c6288.
+func C6288() *aig.AIG {
+	g := ArrayMultiplier(16)
+	g.Name = "c6288"
+	return g
+}
+
+// BoothMultiplier builds an n x n signed radix-4 Booth multiplier with a
+// carry-save reduction tree ("mul32-booth" / "mul64-booth" in Table II).
+func BoothMultiplier(n int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("mul%d-booth", n))
+	x := b.Input("a", n)
+	y := b.Input("b", n)
+	b.Output("p", b.MulBooth(x, y))
+	return b.G
+}
+
+// Squarer builds an n-bit unsigned squarer with a 2n-bit result (the EPFL
+// "square" benchmark stand-in).
+func Squarer(n int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("square%d", n))
+	x := b.Input("a", n)
+	b.Output("p", b.Square(x))
+	return b.G
+}
+
+// MaxTree builds a k-way w-bit unsigned maximum (the EPFL "max" benchmark
+// computes the max of four 128-bit words; this generator is parameterised).
+func MaxTree(k, w int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("max%dx%d", k, w))
+	words := make([]Word, k)
+	for i := range words {
+		words[i] = b.Input(fmt.Sprintf("x%d", i), w)
+	}
+	for len(words) > 1 {
+		var next []Word
+		for i := 0; i+1 < len(words); i += 2 {
+			lt := b.LessUnsigned(words[i], words[i+1])
+			next = append(next, b.MuxW(lt, words[i+1], words[i]))
+		}
+		if len(words)%2 == 1 {
+			next = append(next, words[len(words)-1])
+		}
+		words = next
+	}
+	b.Output("max", words[0])
+	return b.G
+}
+
+// ALUCompare builds a w-bit adder/magnitude-comparator/parity block, the
+// arithmetic-dominated profile of ISCAS c7552.
+func ALUCompare(w int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("c7552ish%d", w))
+	x := b.Input("a", w)
+	y := b.Input("b", w)
+	sum, cout := b.RippleAdd(x, y, aig.ConstFalse)
+	b.Output("s", sum)
+	b.G.AddPO("cout", cout)
+	lt := b.LessUnsigned(x, y)
+	eq := b.Equal(x, y)
+	b.G.AddPO("lt", lt)
+	b.G.AddPO("eq", eq)
+	b.G.AddPO("gt", b.G.Nor(lt, eq))
+	// Parity trees over each operand and the sum.
+	parity := func(wd Word) aig.Lit {
+		p := aig.ConstFalse
+		for _, l := range wd {
+			p = b.G.Xor(p, l)
+		}
+		return p
+	}
+	b.G.AddPO("pa", parity(x))
+	b.G.AddPO("pb", parity(y))
+	b.G.AddPO("ps", parity(sum))
+	return b.G
+}
+
+// C7552 builds the 32-bit ALUCompare instance standing in for ISCAS c7552.
+func C7552() *aig.AIG {
+	g := ALUCompare(32)
+	g.Name = "c7552"
+	return g
+}
+
+// SinePoly builds an n-bit fixed-point evaluator of sin(x) for x in [0,1)
+// radians using the Taylor expansion x - x^3/6 + x^5/120 (the EPFL "sin"
+// benchmark stand-in; multiplier-dominated like the original).
+func SinePoly(n int) *aig.AIG {
+	b := NewBuilder(fmt.Sprintf("sin%d", n))
+	x := b.Input("x", n)
+
+	// hiHalf keeps the top n bits of a 2n-bit fixed-point product.
+	hiHalf := func(p Word) Word { return Word(p[n:]) }
+	mulFrac := func(a, c Word) Word { return hiHalf(b.MulArray(a, c)) }
+
+	x2 := mulFrac(x, x)
+	x3 := mulFrac(x2, x)
+	x5 := mulFrac(x3, x2)
+
+	scale := float64(uint64(1) << uint(n))
+	c3 := b.Const(uint64(scale/6.0), n)
+	c5 := b.Const(uint64(scale/120.0), n)
+	t3 := mulFrac(x3, c3)
+	t5 := mulFrac(x5, c5)
+
+	acc, _ := b.Sub(x, t3)
+	acc, _ = b.RippleAdd(acc, t5, aig.ConstFalse)
+	b.Output("sin", acc)
+	return b.G
+}
+
+// RiscVCore builds a PicoRV32-like single-cycle combinational datapath:
+// instruction decode, immediate generation, a full RV32I ALU (add/sub,
+// shifts, comparisons, logic ops), branch resolution and next-PC selection.
+func RiscVCore() *aig.AIG {
+	b := NewBuilder("pico_riscv")
+	instr := b.Input("instr", 32)
+	rs1 := b.Input("rs1", 32)
+	rs2 := b.Input("rs2", 32)
+	pc := b.Input("pc", 32)
+
+	opcode := Word(instr[0:7])
+	funct3 := Word(instr[12:15])
+	funct7b5 := instr[30]
+
+	isOpcode := func(bits uint64) aig.Lit {
+		return b.Equal(opcode, b.Const(bits, 7))
+	}
+	opReg := isOpcode(0b0110011)    // R-type ALU
+	opImm := isOpcode(0b0010011)    // I-type ALU
+	opLoad := isOpcode(0b0000011)   // loads
+	opStore := isOpcode(0b0100011)  // stores
+	opBranch := isOpcode(0b1100011) // branches
+	opJal := isOpcode(0b1101111)
+	opJalr := isOpcode(0b1100111)
+	opLui := isOpcode(0b0110111)
+	opAuipc := isOpcode(0b0010111)
+
+	// Immediate generation.
+	sign := instr[31]
+	rep := func(l aig.Lit, k int) Word {
+		w := make(Word, k)
+		for i := range w {
+			w[i] = l
+		}
+		return w
+	}
+	immI := append(append(Word{}, instr[20:32]...), rep(sign, 20)...)
+	immS := append(append(append(Word{}, instr[7:12]...), instr[25:32]...), rep(sign, 20)...)
+	immB := append(append(append(append(append(Word{aig.ConstFalse}, instr[8:12]...),
+		instr[25:31]...), instr[7]), sign), rep(sign, 19)...)
+	immU := append(append(Word{}, rep(aig.ConstFalse, 12)...), instr[12:32]...)
+	immJ := append(append(append(append(append(Word{aig.ConstFalse}, instr[21:31]...),
+		instr[20]), instr[12:20]...), sign), rep(sign, 11)...)
+
+	// ALU operand selection.
+	useImm := b.G.Or(opImm, b.G.Or(opLoad, b.G.Or(opStore, opJalr)))
+	immSel := b.MuxW(opStore, immS, immI)
+	opB := b.MuxW(useImm, immSel, rs2)
+
+	// ALU operations.
+	f3Is := func(bits uint64) aig.Lit { return b.Equal(funct3, b.Const(bits, 3)) }
+	doSub := b.G.And(opReg, funct7b5)
+	addSub := b.MuxW(doSub,
+		func() Word { d, _ := b.Sub(rs1, opB); return d }(),
+		func() Word { s, _ := b.RippleAdd(rs1, opB, aig.ConstFalse); return s }())
+	shamt := Word(opB[0:5])
+	sll := b.ShiftLeftVar(rs1, shamt)
+	srl := b.ShiftRightLogic(rs1, shamt, false)
+	sra := b.ShiftRightLogic(rs1, shamt, true)
+	srlSra := b.MuxW(funct7b5, sra, srl)
+	ltSigned := func(x, y Word) aig.Lit {
+		d, _ := b.Sub(x, y)
+		// signed less-than: sign(x)!=sign(y) ? sign(x) : sign(diff)
+		diffSign := d[len(d)-1]
+		xs, ys := x[len(x)-1], y[len(y)-1]
+		return b.G.Mux(b.G.Xor(xs, ys), xs, diffSign)
+	}
+	slt := b.Extend(Word{ltSigned(rs1, opB)}, 32, false)
+	sltu := b.Extend(Word{b.LessUnsigned(rs1, opB)}, 32, false)
+	xorW := b.XorW(rs1, opB)
+	orW := b.OrW(rs1, opB)
+	andW := b.AndW(rs1, opB)
+
+	alu := addSub
+	type aluCase struct {
+		f3  uint64
+		val Word
+	}
+	for _, c := range []aluCase{
+		{0b001, sll}, {0b010, slt}, {0b011, sltu}, {0b100, xorW},
+		{0b101, srlSra}, {0b110, orW}, {0b111, andW},
+	} {
+		alu = b.MuxW(f3Is(c.f3), c.val, alu)
+	}
+
+	// Branch resolution.
+	eq := b.Equal(rs1, rs2)
+	lts := ltSigned(rs1, rs2)
+	ltu := b.LessUnsigned(rs1, rs2)
+	takeBr := b.G.And(opBranch, b.G.Mux(funct3[2],
+		// blt/bge/bltu/bgeu select on funct3[1], invert on funct3[0]
+		b.G.Xor(b.G.Mux(funct3[1], ltu, lts), funct3[0]),
+		b.G.Xor(eq, funct3[0])))
+
+	pc4, _ := b.RippleAdd(pc, b.Const(4, 32), aig.ConstFalse)
+	pcBr, _ := b.RippleAdd(pc, immB, aig.ConstFalse)
+	pcJal, _ := b.RippleAdd(pc, immJ, aig.ConstFalse)
+	pcJalr, _ := b.RippleAdd(rs1, immI, aig.ConstFalse)
+	pcJalr[0] = aig.ConstFalse
+	nextPC := b.MuxW(takeBr, pcBr, pc4)
+	nextPC = b.MuxW(opJal, pcJal, nextPC)
+	nextPC = b.MuxW(opJalr, pcJalr, nextPC)
+
+	// Writeback value.
+	pcImm, _ := b.RippleAdd(pc, immU, aig.ConstFalse)
+	wb := alu
+	wb = b.MuxW(opLui, immU, wb)
+	wb = b.MuxW(opAuipc, pcImm, wb)
+	wb = b.MuxW(b.G.Or(opJal, opJalr), pc4, wb)
+
+	memAddr, _ := b.RippleAdd(rs1, immSel, aig.ConstFalse)
+
+	b.Output("wb", wb)
+	b.Output("next_pc", nextPC)
+	b.Output("mem_addr", memAddr)
+	b.G.AddPO("take_branch", takeBr)
+	return b.G
+}

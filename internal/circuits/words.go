@@ -1,0 +1,457 @@
+// Package circuits provides structural generators for the benchmark designs
+// used in the SLAP evaluation (Table II of the paper) and the two 16-bit
+// adder architectures used to train the model.
+//
+// All generators build And-Inverter Graphs through the word-level Builder
+// helpers in this file. Every generator is parameterised by width so the
+// experiment harness can run a scaled-down "fast" profile or the full
+// paper-sized designs.
+package circuits
+
+import (
+	"fmt"
+
+	"slap/internal/aig"
+)
+
+// Word is a little-endian vector of literals (index 0 is the LSB).
+type Word []aig.Lit
+
+// Builder wraps an AIG with word-level construction helpers.
+type Builder struct {
+	G *aig.AIG
+}
+
+// NewBuilder returns a Builder over a fresh AIG with the given name.
+func NewBuilder(name string) Builder {
+	return Builder{G: aig.New(name)}
+}
+
+// Input creates an n-bit input word named name[0..n-1].
+func (b Builder) Input(name string, n int) Word {
+	w := make(Word, n)
+	for i := range w {
+		w[i] = b.G.AddPI(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return w
+}
+
+// Output registers each bit of w as a primary output named name[i].
+func (b Builder) Output(name string, w Word) {
+	for i, l := range w {
+		b.G.AddPO(fmt.Sprintf("%s[%d]", name, i), l)
+	}
+}
+
+// Const returns an n-bit constant word holding val.
+func (b Builder) Const(val uint64, n int) Word {
+	w := make(Word, n)
+	for i := range w {
+		if val>>uint(i)&1 == 1 {
+			w[i] = aig.ConstTrue
+		} else {
+			w[i] = aig.ConstFalse
+		}
+	}
+	return w
+}
+
+// Not complements every bit of w.
+func (b Builder) Not(w Word) Word {
+	r := make(Word, len(w))
+	for i, l := range w {
+		r[i] = l.Not()
+	}
+	return r
+}
+
+// AndW, OrW and XorW apply a bitwise operation to equal-width words.
+func (b Builder) AndW(x, y Word) Word { return b.bitwise(x, y, b.G.And) }
+
+// OrW is the bitwise OR of two equal-width words.
+func (b Builder) OrW(x, y Word) Word { return b.bitwise(x, y, b.G.Or) }
+
+// XorW is the bitwise XOR of two equal-width words.
+func (b Builder) XorW(x, y Word) Word { return b.bitwise(x, y, b.G.Xor) }
+
+func (b Builder) bitwise(x, y Word, op func(aig.Lit, aig.Lit) aig.Lit) Word {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("circuits: width mismatch %d vs %d", len(x), len(y)))
+	}
+	r := make(Word, len(x))
+	for i := range x {
+		r[i] = op(x[i], y[i])
+	}
+	return r
+}
+
+// MuxW returns sel ? t : e bitwise.
+func (b Builder) MuxW(sel aig.Lit, t, e Word) Word {
+	if len(t) != len(e) {
+		panic(fmt.Sprintf("circuits: mux width mismatch %d vs %d", len(t), len(e)))
+	}
+	r := make(Word, len(t))
+	for i := range t {
+		r[i] = b.G.Mux(sel, t[i], e[i])
+	}
+	return r
+}
+
+// Extend sign- or zero-extends w to n bits.
+func (b Builder) Extend(w Word, n int, signed bool) Word {
+	r := make(Word, n)
+	fill := aig.ConstFalse
+	if signed && len(w) > 0 {
+		fill = w[len(w)-1]
+	}
+	for i := 0; i < n; i++ {
+		if i < len(w) {
+			r[i] = w[i]
+		} else {
+			r[i] = fill
+		}
+	}
+	return r
+}
+
+// ShiftLeftConst shifts w left by k bits, keeping the width.
+func (b Builder) ShiftLeftConst(w Word, k int) Word {
+	r := make(Word, len(w))
+	for i := range r {
+		if i >= k {
+			r[i] = w[i-k]
+		} else {
+			r[i] = aig.ConstFalse
+		}
+	}
+	return r
+}
+
+// fullAdder returns (sum, carry) of three literals.
+func (b Builder) fullAdder(x, y, c aig.Lit) (aig.Lit, aig.Lit) {
+	s := b.G.Xor(b.G.Xor(x, y), c)
+	co := b.G.Maj(x, y, c)
+	return s, co
+}
+
+// RippleAdd adds two equal-width words with a ripple-carry chain and returns
+// the sum and the carry-out.
+func (b Builder) RippleAdd(x, y Word, cin aig.Lit) (Word, aig.Lit) {
+	if len(x) != len(y) {
+		panic("circuits: RippleAdd width mismatch")
+	}
+	sum := make(Word, len(x))
+	c := cin
+	for i := range x {
+		sum[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return sum, c
+}
+
+// Sub returns x - y (two's complement) and a "no borrow" flag (1 when x>=y
+// for unsigned operands).
+func (b Builder) Sub(x, y Word) (Word, aig.Lit) {
+	return b.RippleAdd(x, b.Not(y), aig.ConstTrue)
+}
+
+// CLAAdd adds two equal-width words using 4-bit carry-lookahead blocks.
+// This is the second adder architecture used for training data generation.
+func (b Builder) CLAAdd(x, y Word, cin aig.Lit) (Word, aig.Lit) {
+	if len(x) != len(y) {
+		panic("circuits: CLAAdd width mismatch")
+	}
+	n := len(x)
+	sum := make(Word, n)
+	c := cin
+	for blk := 0; blk < n; blk += 4 {
+		hi := blk + 4
+		if hi > n {
+			hi = n
+		}
+		// Generate/propagate for the block.
+		carries := make([]aig.Lit, hi-blk+1)
+		carries[0] = c
+		for i := blk; i < hi; i++ {
+			gi := b.G.And(x[i], y[i])
+			pi := b.G.Xor(x[i], y[i])
+			// c_{i+1} = g_i + p_i * c_i, expanded per stage from the block
+			// carry-in (lookahead form, all terms from carries[0]).
+			term := gi
+			acc := pi
+			for j := i - 1; j >= blk; j-- {
+				gj := b.G.And(x[j], y[j])
+				pj := b.G.Xor(x[j], y[j])
+				term = b.G.Or(term, b.G.And(acc, gj))
+				acc = b.G.And(acc, pj)
+			}
+			carries[i-blk+1] = b.G.Or(term, b.G.And(acc, carries[0]))
+		}
+		for i := blk; i < hi; i++ {
+			pi := b.G.Xor(x[i], y[i])
+			sum[i] = b.G.Xor(pi, carries[i-blk])
+		}
+		c = carries[hi-blk]
+	}
+	return sum, c
+}
+
+// KoggeStoneAdd adds two equal-width words with a Kogge-Stone parallel
+// prefix network. This stands in for the EPFL "adder" benchmark.
+func (b Builder) KoggeStoneAdd(x, y Word, cin aig.Lit) (Word, aig.Lit) {
+	if len(x) != len(y) {
+		panic("circuits: KoggeStoneAdd width mismatch")
+	}
+	n := len(x)
+	gen := make([]aig.Lit, n)
+	prop := make([]aig.Lit, n)
+	for i := 0; i < n; i++ {
+		gen[i] = b.G.And(x[i], y[i])
+		prop[i] = b.G.Xor(x[i], y[i])
+	}
+	// Fold the carry-in into bit 0 as an extra generate term.
+	g := make([]aig.Lit, n)
+	p := make([]aig.Lit, n)
+	copy(g, gen)
+	copy(p, prop)
+	g[0] = b.G.Or(gen[0], b.G.And(prop[0], cin))
+	for d := 1; d < n; d <<= 1 {
+		ng := make([]aig.Lit, n)
+		np := make([]aig.Lit, n)
+		for i := 0; i < n; i++ {
+			if i >= d {
+				ng[i] = b.G.Or(g[i], b.G.And(p[i], g[i-d]))
+				np[i] = b.G.And(p[i], p[i-d])
+			} else {
+				ng[i] = g[i]
+				np[i] = p[i]
+			}
+		}
+		g, p = ng, np
+	}
+	sum := make(Word, n)
+	sum[0] = b.G.Xor(prop[0], cin)
+	for i := 1; i < n; i++ {
+		sum[i] = b.G.Xor(prop[i], g[i-1])
+	}
+	return sum, g[n-1]
+}
+
+// MulArray returns the 2n-bit unsigned product of two n-bit words using an
+// AND-matrix with ripple-carry accumulation rows (a classic array
+// multiplier, the architecture of ISCAS c6288).
+func (b Builder) MulArray(x, y Word) Word {
+	n, m := len(x), len(y)
+	acc := b.Const(0, n+m)
+	for j := 0; j < m; j++ {
+		pp := make(Word, n+m)
+		for i := range pp {
+			pp[i] = aig.ConstFalse
+		}
+		for i := 0; i < n; i++ {
+			pp[i+j] = b.G.And(x[i], y[j])
+		}
+		acc, _ = b.RippleAdd(acc, pp, aig.ConstFalse)
+	}
+	return acc
+}
+
+// MulBooth returns the 2n-bit product of two n-bit signed (two's
+// complement) words using radix-4 Booth encoding with a carry-save
+// accumulation tree and a final ripple adder.
+func (b Builder) MulBooth(x, y Word) Word {
+	n := len(x)
+	if len(y) != n {
+		panic("circuits: MulBooth width mismatch")
+	}
+	w := 2 * n
+	xe := b.Extend(x, w, true)
+	var pps []Word
+	// y bits with an implicit y[-1] = 0, consumed two at a time.
+	yBit := func(i int) aig.Lit {
+		if i < 0 {
+			return aig.ConstFalse
+		}
+		if i >= n {
+			return y[n-1] // sign extension of the multiplier
+		}
+		return y[i]
+	}
+	for j := 0; j < n; j += 2 {
+		b0 := yBit(j - 1)
+		b1 := yBit(j)
+		b2 := yBit(j + 1)
+		one := b.G.Xor(b0, b1)                            // |digit| == 1
+		two := b.G.And(b.G.Xor(b2, b1), b.G.Xnor(b0, b1)) // |digit| == 2
+		neg := b2
+		// Magnitude: (one ? x : 0) | (two ? 2x : 0), then conditional
+		// negation via XOR with neg plus a +neg LSB correction term.
+		x2 := b.ShiftLeftConst(xe, 1)
+		mag := make(Word, w)
+		for i := 0; i < w; i++ {
+			mag[i] = b.G.Or(b.G.And(one, xe[i]), b.G.And(two, x2[i]))
+		}
+		ppBits := make(Word, w)
+		for i := 0; i < w; i++ {
+			ppBits[i] = b.G.Xor(mag[i], neg)
+		}
+		pp := b.ShiftLeftConst(ppBits, j)
+		// For a left-shifted inverted value the vacated low bits must stay
+		// zero, and the two's-complement +1 lands at position j.
+		for i := 0; i < j; i++ {
+			pp[i] = aig.ConstFalse
+		}
+		corr := make(Word, w)
+		for i := range corr {
+			corr[i] = aig.ConstFalse
+		}
+		if j < w {
+			corr[j] = neg
+		}
+		pps = append(pps, pp, corr)
+	}
+	return b.reduceCSA(pps, w)
+}
+
+// reduceCSA sums the partial products with 3:2 carry-save compressors and a
+// final ripple-carry adder, returning a w-bit result (mod 2^w).
+func (b Builder) reduceCSA(pps []Word, w int) Word {
+	for len(pps) > 2 {
+		var next []Word
+		i := 0
+		for ; i+2 < len(pps); i += 3 {
+			s := make(Word, w)
+			c := make(Word, w)
+			c[0] = aig.ConstFalse
+			for k := 0; k < w; k++ {
+				sk, ck := b.fullAdder(pps[i][k], pps[i+1][k], pps[i+2][k])
+				s[k] = sk
+				if k+1 < w {
+					c[k+1] = ck
+				}
+			}
+			next = append(next, s, c)
+		}
+		next = append(next, pps[i:]...)
+		pps = next
+	}
+	if len(pps) == 1 {
+		return pps[0]
+	}
+	sum, _ := b.RippleAdd(pps[0], pps[1], aig.ConstFalse)
+	return sum
+}
+
+// Square returns the 2n-bit unsigned square of x, exploiting partial-product
+// symmetry (x_i·x_j appears twice for i≠j, shifted once).
+func (b Builder) Square(x Word) Word {
+	n := len(x)
+	w := 2 * n
+	var pps []Word
+	// Diagonal terms x_i·x_i = x_i at position 2i.
+	diag := b.Const(0, w)
+	for i := 0; i < n; i++ {
+		diag[2*i] = x[i]
+	}
+	pps = append(pps, diag)
+	// Off-diagonal pairs contribute x_i·x_j at position i+j+1.
+	for i := 0; i < n; i++ {
+		row := b.Const(0, w)
+		nonzero := false
+		for j := i + 1; j < n; j++ {
+			if i+j+1 < w {
+				row[i+j+1] = b.G.And(x[i], x[j])
+				nonzero = true
+			}
+		}
+		if nonzero {
+			pps = append(pps, row)
+		}
+	}
+	return b.reduceCSA(pps, w)
+}
+
+// LessUnsigned returns the literal x < y for unsigned words.
+func (b Builder) LessUnsigned(x, y Word) aig.Lit {
+	_, noBorrow := b.Sub(x, y)
+	return noBorrow.Not()
+}
+
+// Equal returns the literal x == y.
+func (b Builder) Equal(x, y Word) aig.Lit {
+	if len(x) != len(y) {
+		panic("circuits: Equal width mismatch")
+	}
+	eq := aig.ConstTrue
+	for i := range x {
+		eq = b.G.And(eq, b.G.Xnor(x[i], y[i]))
+	}
+	return eq
+}
+
+// RotateLeft rotates w left by the unsigned amount encoded in sh (a
+// logarithmic barrel of mux stages). len(w) must be a power of two and
+// len(sh) == log2(len(w)).
+func (b Builder) RotateLeft(w Word, sh Word) Word {
+	cur := w
+	for s := 0; s < len(sh); s++ {
+		k := 1 << uint(s)
+		rot := make(Word, len(cur))
+		for i := range cur {
+			rot[i] = cur[(i-k+len(cur))%len(cur)]
+		}
+		cur = b.MuxW(sh[s], rot, cur)
+	}
+	return cur
+}
+
+// ShiftRightLogic shifts w right by sh with zero (or sign, when arith) fill.
+func (b Builder) ShiftRightLogic(w Word, sh Word, arith bool) Word {
+	cur := w
+	fill := aig.ConstFalse
+	if arith && len(w) > 0 {
+		fill = w[len(w)-1]
+	}
+	for s := 0; s < len(sh); s++ {
+		k := 1 << uint(s)
+		shifted := make(Word, len(cur))
+		for i := range cur {
+			if i+k < len(cur) {
+				shifted[i] = cur[i+k]
+			} else {
+				shifted[i] = fill
+			}
+		}
+		cur = b.MuxW(sh[s], shifted, cur)
+	}
+	return cur
+}
+
+// ShiftLeftVar shifts w left by sh with zero fill.
+func (b Builder) ShiftLeftVar(w Word, sh Word) Word {
+	cur := w
+	for s := 0; s < len(sh); s++ {
+		k := 1 << uint(s)
+		shifted := make(Word, len(cur))
+		for i := range cur {
+			if i-k >= 0 {
+				shifted[i] = cur[i-k]
+			} else {
+				shifted[i] = aig.ConstFalse
+			}
+		}
+		cur = b.MuxW(sh[s], shifted, cur)
+	}
+	return cur
+}
+
+// MulConst multiplies w by an unsigned constant using shift-and-add,
+// returning a word of the same width (mod 2^len(w)).
+func (b Builder) MulConst(w Word, c uint64) Word {
+	acc := b.Const(0, len(w))
+	for i := 0; i < len(w); i++ {
+		if c>>uint(i)&1 == 1 {
+			acc, _ = b.RippleAdd(acc, b.ShiftLeftConst(w, i), aig.ConstFalse)
+		}
+	}
+	return acc
+}

@@ -1,0 +1,333 @@
+// Package core implements SLAP, the paper's primary contribution: a
+// supervised-learning replacement for the cut sorting and filtering
+// heuristics of a priority-cuts technology mapper.
+//
+// The flow mirrors the paper's framework (Fig. 4):
+//
+//  1. Training (§IV-B): random-shuffle mappings of two 16-bit adders
+//     produce cut datapoints labelled with delay deciles; a small CNN
+//     (internal/nn) learns to predict a cut's QoR class.
+//  2. Mapping (§IV-C, prepare_map/read_cuts): all k-cuts of the subject
+//     graph are enumerated, embedded and classified; per node, the
+//     predicted classes drive a good/average/trivial keep decision; the
+//     pruned cut lists feed the unmodified mapper.
+//  3. Explainability (§V-D): permutation feature importance over the
+//     validation set.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"slap/internal/aig"
+	"slap/internal/circuits"
+	"slap/internal/cuts"
+	"slap/internal/dataset"
+	"slap/internal/embed"
+	"slap/internal/library"
+	"slap/internal/lutmap"
+	"slap/internal/mapper"
+	"slap/internal/nn"
+)
+
+// Default QoR-class thresholds (paper §IV-C): classes 0..3 are "good",
+// 4..6 "average", above "bad".
+const (
+	DefaultGoodMax = 3
+	DefaultAvgMax  = 6
+)
+
+// SLAP bundles a trained cut classifier with the filtering thresholds and
+// the target library.
+type SLAP struct {
+	// Model is the trained cut classifier.
+	Model *nn.Model
+	// Library is the target standard-cell library.
+	Library *library.Library
+	// GoodMax and AvgMax are the class thresholds of the keep decision.
+	GoodMax, AvgMax int
+	// MergeCap bounds the exhaustive pre-filter enumeration (0 = default).
+	MergeCap int
+	// Workers bounds inference parallelism (0 = GOMAXPROCS).
+	Workers int
+	// UseExpectedClass scores cuts by the probability-weighted expected
+	// class instead of the paper's hard argmax. An evaluated-but-off-by-
+	// default variant (see EXPERIMENTS.md §ablations).
+	UseExpectedClass bool
+	// MaxCutsPerNode, when positive, caps how many threshold-passing cuts
+	// each node keeps, ranked by predicted quality. Zero or negative keeps
+	// them all (the paper's literal keep-all-good rule, the default).
+	MaxCutsPerNode int
+}
+
+// predictScore returns the model's continuous QoR score for a cut embedding
+// (lower is better): the paper's argmax class by default, or the
+// probability-weighted expected class, which doubles as the ranking
+// priority when MaxCutsPerNode is set.
+func (s *SLAP) predictScore(x []float64) float64 {
+	if !s.UseExpectedClass {
+		return float64(s.Model.PredictClass(x))
+	}
+	probs := s.Model.Predict(x)
+	e := 0.0
+	for c, p := range probs {
+		e += float64(c) * p
+	}
+	return e
+}
+
+// New wraps a (typically deserialised) model and a library into a SLAP
+// instance with the paper's default thresholds.
+func New(model *nn.Model, lib *library.Library) *SLAP {
+	return &SLAP{
+		Model:   model,
+		Library: lib,
+		GoodMax: DefaultGoodMax,
+		AvgMax:  DefaultAvgMax,
+	}
+}
+
+// TrainOptions configures end-to-end model training.
+type TrainOptions struct {
+	// Library is the target cell library (required).
+	Library *library.Library
+	// Circuits are the training designs; nil uses the paper's two 16-bit
+	// adders (ripple-carry and carry-lookahead).
+	Circuits []*aig.AIG
+	// MapsPerCircuit is the number of random-shuffle mappings per circuit
+	// (0 = 400).
+	MapsPerCircuit int
+	// Epochs is the number of training epochs (0 = 50, as in the paper).
+	Epochs int
+	// Filters is the convolution width (0 = 128, as in the paper).
+	Filters int
+	// Seed drives data generation, splitting and initialisation.
+	Seed int64
+	// ValFraction is the held-out fraction (0 = 0.2).
+	ValFraction float64
+	// Metric selects the QoR metric that labels training cuts (default:
+	// delay, as in the paper; area and ADP are supported per §IV-B).
+	Metric dataset.Metric
+	// Verbose prints per-epoch progress.
+	Verbose bool
+}
+
+// TrainReport summarises a training run (paper §V-B).
+type TrainReport struct {
+	// Samples is the dataset size; TrainSamples/ValSamples the split sizes.
+	Samples, TrainSamples, ValSamples int
+	// ClassHistogram counts samples per QoR class.
+	ClassHistogram []int
+	// MultiClassAccuracy is the 10-class validation accuracy (paper: ~34%).
+	MultiClassAccuracy float64
+	// BinaryAccuracy is the keep/drop validation accuracy with the paper's
+	// threshold of class 6 (paper: 93.4%).
+	BinaryAccuracy float64
+	// History holds per-epoch training stats.
+	History []nn.EpochStats
+	// ValX and ValY retain the validation set for explainability runs.
+	ValX [][]float64
+	ValY []int
+}
+
+// Train generates training data, fits the classifier and returns the SLAP
+// instance plus an accuracy report.
+func Train(opt TrainOptions) (*SLAP, *TrainReport, error) {
+	if opt.Library == nil {
+		return nil, nil, fmt.Errorf("core: TrainOptions.Library is required")
+	}
+	circuitsList := opt.Circuits
+	if circuitsList == nil {
+		circuitsList = []*aig.AIG{circuits.TrainRC16(), circuits.TrainCLA16()}
+	}
+	maps := opt.MapsPerCircuit
+	if maps == 0 {
+		maps = 400
+	}
+	epochs := opt.Epochs
+	if epochs == 0 {
+		epochs = 50
+	}
+	filters := opt.Filters
+	if filters == 0 {
+		filters = 128
+	}
+	valFrac := opt.ValFraction
+	if valFrac == 0 {
+		valFrac = 0.2
+	}
+
+	ds, err := dataset.Generate(dataset.Config{
+		Circuits:       circuitsList,
+		Library:        opt.Library,
+		MapsPerCircuit: maps,
+		Seed:           opt.Seed,
+		Metric:         opt.Metric,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	train, val := ds.Split(1-valFrac, opt.Seed+1)
+
+	rng := rand.New(rand.NewSource(opt.Seed + 2))
+	model := nn.NewModel(embed.Rows, embed.Cols, filters, ds.Classes, rng)
+	model.FitNormalization(train.X)
+	history, err := model.Train(train.X, train.Y, nn.TrainConfig{
+		Epochs:  epochs,
+		Seed:    opt.Seed + 3,
+		Verbose: opt.Verbose,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	report := &TrainReport{
+		Samples:            ds.Len(),
+		TrainSamples:       train.Len(),
+		ValSamples:         val.Len(),
+		ClassHistogram:     ds.ClassHistogram(),
+		MultiClassAccuracy: model.Accuracy(val.X, val.Y),
+		BinaryAccuracy:     model.BinaryAccuracy(val.X, val.Y, DefaultAvgMax),
+		History:            history,
+		ValX:               val.X,
+		ValY:               val.Y,
+	}
+	s := &SLAP{
+		Model:   model,
+		Library: opt.Library,
+		GoodMax: DefaultGoodMax,
+		AvgMax:  DefaultAvgMax,
+	}
+	return s, report, nil
+}
+
+// FilterCuts runs the prepare_map + inference steps: it enumerates all
+// k-cuts of g (no heuristic pruning), classifies every cut, and applies the
+// good/average/trivial keep decision per node. The returned cut sets are
+// what read_cuts feeds to the mapper; TotalCuts is the SLAP "Cuts Used"
+// metric.
+func (s *SLAP) FilterCuts(g *aig.AIG) *cuts.Result {
+	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap}
+	res := enum.Run()
+	emb := embed.NewEmbedder(g)
+	emb.PrecomputeAll()
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nodes := make([]uint32, 0, g.NumNodes())
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if g.IsAnd(n) {
+			nodes = append(nodes, n)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ni := w; ni < len(nodes); ni += workers {
+				n := nodes[ni]
+				res.Sets[n] = s.filterNode(g, emb, n, res.Sets[n])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range nodes {
+		total += len(res.Sets[n])
+	}
+	res.TotalCuts = total
+	return res
+}
+
+// filterNode applies the paper's keep decision to one node's cut list:
+// classify every cut; keep the "good" cuts (class <= GoodMax) when any
+// exist, otherwise the "average" cuts (class <= AvgMax), otherwise only the
+// trivial cut. Kept cuts are ordered by predicted quality and capped at
+// MaxCutsPerNode — the learned priority-cuts ranking.
+func (s *SLAP) filterNode(g *aig.AIG, emb *embed.Embedder, n uint32, cs []cuts.Cut) []cuts.Cut {
+	type scored struct {
+		cut   cuts.Cut
+		score float64
+	}
+	var good, avg []scored
+	for i := range cs {
+		c := &cs[i]
+		if c.IsTrivial(n) {
+			continue
+		}
+		score := s.predictScore(emb.Cut(n, c))
+		class := int(score + 0.5)
+		switch {
+		case class <= s.GoodMax:
+			good = append(good, scored{cut: *c, score: score})
+		case class <= s.AvgMax:
+			avg = append(avg, scored{cut: *c, score: score})
+		}
+	}
+	keep := good
+	if len(keep) == 0 {
+		keep = avg
+	}
+	if len(keep) == 0 {
+		// No acceptable cut: only the trivial cut survives; the mapper's
+		// elementary-fanin-cut fallback keeps the node coverable.
+		return []cuts.Cut{trivialOf(n, cs)}
+	}
+	sort.SliceStable(keep, func(i, j int) bool { return keep[i].score < keep[j].score })
+	if s.MaxCutsPerNode > 0 && len(keep) > s.MaxCutsPerNode {
+		keep = keep[:s.MaxCutsPerNode]
+	}
+	out := make([]cuts.Cut, 0, len(keep)+1)
+	for _, k := range keep {
+		out = append(out, k.cut)
+	}
+	return append(out, trivialOf(n, cs))
+}
+
+func trivialOf(n uint32, cs []cuts.Cut) cuts.Cut {
+	for i := range cs {
+		if cs[i].IsTrivial(n) {
+			return cs[i]
+		}
+	}
+	// The enumerator always appends the trivial cut; this is unreachable
+	// for enumerator-produced lists but keeps the function total.
+	return cuts.Cut{Leaves: []uint32{n}}
+}
+
+// Map runs the full SLAP flow on g: filter cuts with the model, then map
+// with the unchanged mapper (Boolean matching, arrival update and cover
+// selection untouched, as in the paper).
+func (s *SLAP) Map(g *aig.AIG) (*mapper.Result, error) {
+	filtered := s.FilterCuts(g)
+	res, err := mapper.Map(g, mapper.Options{Library: s.Library, CutSets: filtered})
+	if err != nil {
+		return nil, err
+	}
+	res.PolicyName = "slap"
+	// Report the post-filter footprint (the fallback cuts the mapper added
+	// for coverability are already included by Map).
+	return res, nil
+}
+
+// MapLUT runs the SLAP flow against the K-LUT FPGA mapper instead of the
+// standard-cell mapper — the extension the paper's introduction points to
+// ("the findings of this work can be extended to benefit FPGA-mapping ...
+// as the nature of the problem is the same"). The same ML-filtered cut
+// sets feed the depth-oriented LUT coverer unchanged.
+func (s *SLAP) MapLUT(g *aig.AIG) (*lutmap.Result, error) {
+	filtered := s.FilterCuts(g)
+	res, err := lutmap.Map(g, lutmap.Options{CutSets: filtered})
+	if err != nil {
+		return nil, err
+	}
+	res.PolicyName = "slap"
+	return res, nil
+}

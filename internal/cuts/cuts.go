@@ -1,0 +1,412 @@
+// Package cuts implements k-feasible cut enumeration over AIGs with the
+// priority-cuts scheme: each node keeps a bounded, policy-ordered list of
+// cuts, and the merge step (Eq. 1 of the paper) works on the already-pruned
+// fanin lists. The cut sorting/filtering policy is therefore the lever that
+// shapes the whole mapping search space — exactly the lever SLAP replaces
+// with a learned model.
+package cuts
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"slap/internal/aig"
+	"slap/internal/tt"
+)
+
+// K is the cut leaf limit used throughout the paper (5-input cuts, matching
+// the standard-cell matching width).
+const K = 5
+
+// Cut is a k-feasible cut: a set of leaves, the function of the root in
+// terms of those leaves, and structural attributes.
+type Cut struct {
+	// Leaves are the cut leaf node ids in ascending order.
+	Leaves []uint32
+	// Sig is a 64-bit Bloom signature of the leaf set, used for fast
+	// dominance rejection.
+	Sig uint64
+	// TT is the root function over the leaves (variable i = Leaves[i]).
+	TT tt.TT
+	// Volume is the number of AND nodes covered by the cut (root included,
+	// leaves excluded).
+	Volume int32
+}
+
+// IsTrivial reports whether the cut is the trivial cut {n} of its root.
+func (c *Cut) IsTrivial(root uint32) bool {
+	return len(c.Leaves) == 1 && c.Leaves[0] == root
+}
+
+func leafSig(leaves []uint32) uint64 {
+	var s uint64
+	for _, l := range leaves {
+		s |= 1 << (l % 64)
+	}
+	return s
+}
+
+// subsetOf reports whether a's leaves are a subset of b's.
+func subsetOf(a, b *Cut) bool {
+	if len(a.Leaves) > len(b.Leaves) || a.Sig&^b.Sig != 0 {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a.Leaves) && j < len(b.Leaves) {
+		switch {
+		case a.Leaves[i] == b.Leaves[j]:
+			i++
+			j++
+		case a.Leaves[i] > b.Leaves[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a.Leaves)
+}
+
+// mergeLeaves unions two sorted leaf lists, failing when the union exceeds K.
+func mergeLeaves(a, b []uint32) ([]uint32, bool) {
+	out := make([]uint32, 0, K)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v uint32
+		switch {
+		case i == len(a):
+			v = b[j]
+			j++
+		case j == len(b):
+			v = a[i]
+			i++
+		case a[i] == b[j]:
+			v = a[i]
+			i++
+			j++
+		case a[i] < b[j]:
+			v = a[i]
+			i++
+		default:
+			v = b[j]
+			j++
+		}
+		if len(out) == K {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// expandTT re-expresses a cut function given over the variable ordering
+// `from` in the ordering `to` (from must be a subsequence of to).
+func expandTT(f tt.TT, from, to []uint32) tt.TT {
+	var perm [tt.MaxVars]uint8
+	used := uint8(0)
+	j := 0
+	for i, leaf := range from {
+		for to[j] != leaf {
+			j++
+		}
+		perm[i] = uint8(j)
+		used |= 1 << uint(j)
+	}
+	// Fill the remaining permutation slots with unused positions.
+	next := 0
+	for i := len(from); i < tt.MaxVars; i++ {
+		for used&(1<<uint(next)) != 0 {
+			next++
+		}
+		perm[i] = uint8(next)
+		used |= 1 << uint(next)
+	}
+	return f.Permute(perm)
+}
+
+// Policy orders and prunes the candidate cut list of one node. The returned
+// slice is what downstream merging and Boolean matching will see.
+type Policy interface {
+	// Process may reorder, filter and truncate cs. It must keep the trivial
+	// cut reachable for mapping (the enumerator re-appends it if dropped).
+	Process(g *aig.AIG, n uint32, cs []Cut) []Cut
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Result holds the outcome of cut enumeration.
+type Result struct {
+	// Sets[n] is the cut list of node n (nil for PIs/constant except for
+	// their trivial cut).
+	Sets [][]Cut
+	// TotalCuts is the number of cuts exposed to the mapper, the paper's
+	// "Cuts Used" memory-footprint metric.
+	TotalCuts int
+}
+
+// Enumerator computes k-feasible cuts for every node of an AIG under a
+// given priority policy.
+type Enumerator struct {
+	G *aig.AIG
+	// Policy orders/prunes each node's cut list; nil means keep everything
+	// (exhaustive enumeration subject only to MergeCap).
+	Policy Policy
+	// MergeCap bounds the per-node list length before the policy runs, to
+	// keep exhaustive enumeration tractable on large designs. Zero means
+	// DefaultMergeCap.
+	MergeCap int
+
+	// DFS scratch state for cone evaluation (epoch-stamped visited set,
+	// reused across cuts to avoid per-cut allocation).
+	visited []uint32
+	val     []tt.TT
+	epoch   uint32
+}
+
+// DefaultMergeCap bounds per-node cut lists during enumeration.
+const DefaultMergeCap = 2000
+
+// Run enumerates cuts for all nodes in topological order.
+func (e *Enumerator) Run() *Result {
+	g := e.G
+	capN := e.MergeCap
+	if capN == 0 {
+		capN = DefaultMergeCap
+	}
+	res := &Result{Sets: make([][]Cut, g.NumNodes())}
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if g.IsPI(n) {
+			res.Sets[n] = []Cut{trivialCut(n)}
+			continue
+		}
+		if !g.IsAnd(n) {
+			continue
+		}
+		f0, f1 := g.Fanins(n)
+		cs := e.mergeNode(n, f0, f1, res.Sets[f0.Node()], res.Sets[f1.Node()], capN)
+		if e.Policy != nil {
+			cs = e.Policy.Process(g, n, cs)
+		}
+		cs = ensureTrivial(n, cs)
+		res.Sets[n] = cs
+	}
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if g.IsAnd(n) {
+			res.TotalCuts += len(res.Sets[n])
+		}
+	}
+	return res
+}
+
+func trivialCut(n uint32) Cut {
+	return Cut{
+		Leaves: []uint32{n},
+		Sig:    leafSig([]uint32{n}),
+		TT:     tt.Var(0),
+		Volume: 0,
+	}
+}
+
+func ensureTrivial(n uint32, cs []Cut) []Cut {
+	for i := range cs {
+		if cs[i].IsTrivial(n) {
+			return cs
+		}
+	}
+	return append(cs, trivialCut(n))
+}
+
+// mergeNode computes the cut set of AND node n from its fanin cut sets.
+func (e *Enumerator) mergeNode(n uint32, f0, f1 aig.Lit, cs0, cs1 []Cut, capN int) []Cut {
+	seen := make(map[string]bool, len(cs0)*2)
+	var out []Cut
+	keyBuf := make([]byte, 0, K*4)
+	key := func(leaves []uint32) string {
+		keyBuf = keyBuf[:0]
+		for _, l := range leaves {
+			keyBuf = append(keyBuf, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+		}
+		return string(keyBuf)
+	}
+	for i := range cs0 {
+		for j := range cs1 {
+			u, v := &cs0[i], &cs1[j]
+			if bits.OnesCount64(u.Sig|v.Sig) > K {
+				continue // cannot be k-feasible
+			}
+			leaves, ok := mergeLeaves(u.Leaves, v.Leaves)
+			if !ok {
+				continue
+			}
+			k := key(leaves)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			// The truth table is computed by symbolic cone evaluation rather
+			// than by composing the fanin cut functions: when a leaf of one
+			// fanin cut is the other fanin node itself, composition would
+			// wrongly substitute that leaf's own function for the free leaf
+			// variable. Cone evaluation also yields the volume in the same
+			// traversal.
+			f, vol := e.coneTT(n, leaves)
+			out = append(out, Cut{
+				Leaves: leaves,
+				Sig:    leafSig(leaves),
+				TT:     f,
+				Volume: vol,
+			})
+			if len(out) >= capN {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// MakeCut constructs a cut of root over the given sorted leaves, computing
+// its truth table and volume by cone evaluation. The leaf set must be a
+// valid cut of root (every PI-to-root path passes through a leaf).
+func (e *Enumerator) MakeCut(root uint32, leaves []uint32) Cut {
+	f, vol := e.coneTT(root, leaves)
+	return Cut{
+		Leaves: append([]uint32(nil), leaves...),
+		Sig:    leafSig(leaves),
+		TT:     f,
+		Volume: vol,
+	}
+}
+
+// coneTT symbolically evaluates the function of n over the cut leaves
+// (variable i = leaves[i]) and counts the AND nodes covered. The visited
+// array is epoch-stamped and reused across cuts to avoid allocation.
+func (e *Enumerator) coneTT(n uint32, leaves []uint32) (tt.TT, int32) {
+	if e.visited == nil {
+		e.visited = make([]uint32, e.G.NumNodes())
+		e.val = make([]tt.TT, e.G.NumNodes())
+	}
+	e.epoch++
+	var vol int32
+	var eval func(m uint32) tt.TT
+	eval = func(m uint32) tt.TT {
+		for i, l := range leaves {
+			if l == m {
+				return tt.Var(i)
+			}
+		}
+		if e.visited[m] == e.epoch {
+			return e.val[m]
+		}
+		if !e.G.IsAnd(m) {
+			// Only reachable if the leaf set is not a cut; the enumerator
+			// never constructs such sets, so this is an internal error.
+			panic("cuts: cone evaluation escaped the cut leaves")
+		}
+		vol++
+		f0, f1 := e.G.Fanins(m)
+		v0 := eval(f0.Node())
+		if f0.IsCompl() {
+			v0 = v0.Not()
+		}
+		v1 := eval(f1.Node())
+		if f1.IsCompl() {
+			v1 = v1.Not()
+		}
+		v := v0.And(v1)
+		e.visited[m] = e.epoch
+		e.val[m] = v
+		return v
+	}
+	return eval(n), vol
+}
+
+// FilterDominated removes cuts whose leaf set is a superset of another
+// cut's leaf set (the dominated cuts), preserving order. The trivial cut of
+// root dominates nothing and is kept.
+func FilterDominated(cs []Cut) []Cut {
+	out := cs[:0]
+	for i := range cs {
+		dominated := false
+		for j := range cs {
+			if i == j {
+				continue
+			}
+			if subsetOf(&cs[j], &cs[i]) {
+				// Equal leaf sets: keep the earlier one.
+				if len(cs[j].Leaves) == len(cs[i].Leaves) && j > i {
+					continue
+				}
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, cs[i])
+		}
+	}
+	return out
+}
+
+// Features computes the nine structural cut features of paper §IV-A:
+// root-inverted flag, leaf count, volume, min/max/sum leaf level and
+// min/max/sum leaf fanout.
+func (c *Cut) Features(g *aig.AIG, root uint32) [9]float64 {
+	var f [9]float64
+	if g.HasInvertedFanout(root) {
+		f[0] = 1
+	}
+	f[1] = float64(len(c.Leaves))
+	f[2] = float64(c.Volume)
+	minLvl, maxLvl, sumLvl := int32(1<<30), int32(-1), int32(0)
+	minFO, maxFO, sumFO := int32(1<<30), int32(-1), int32(0)
+	for _, l := range c.Leaves {
+		lv := g.Level(l)
+		fo := g.Fanout(l)
+		if lv < minLvl {
+			minLvl = lv
+		}
+		if lv > maxLvl {
+			maxLvl = lv
+		}
+		sumLvl += lv
+		if fo < minFO {
+			minFO = fo
+		}
+		if fo > maxFO {
+			maxFO = fo
+		}
+		sumFO += fo
+	}
+	f[3] = float64(minLvl)
+	f[4] = float64(maxLvl)
+	f[5] = float64(sumLvl)
+	f[6] = float64(minFO)
+	f[7] = float64(maxFO)
+	f[8] = float64(sumFO)
+	return f
+}
+
+// FeatureNames labels the entries of Features for reports and the
+// permutation-importance experiment.
+var FeatureNames = [9]string{
+	"rootInverted", "numLeaves", "volume",
+	"minLeafLevel", "maxLeafLevel", "sumLeafLevel",
+	"minLeafFanout", "maxLeafFanout", "sumLeafFanout",
+}
+
+// SortByLeaves orders cuts by ascending leaf count, breaking ties by larger
+// volume (more logic absorbed) then lexicographic leaves — the vanilla ABC
+// ordering the paper describes.
+func SortByLeaves(cs []Cut) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		if len(cs[i].Leaves) != len(cs[j].Leaves) {
+			return len(cs[i].Leaves) < len(cs[j].Leaves)
+		}
+		return cs[i].Volume > cs[j].Volume
+	})
+}
+
+// String renders the cut for debugging.
+func (c *Cut) String() string {
+	return fmt.Sprintf("cut%v vol=%d tt=%08x", c.Leaves, c.Volume, uint32(c.TT))
+}

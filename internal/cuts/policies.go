@@ -1,0 +1,122 @@
+package cuts
+
+import (
+	"fmt"
+	"math/rand"
+
+	"slap/internal/aig"
+)
+
+// DefaultCutLimit is the per-node cut budget of the vanilla ABC mapper (the
+// paper: "Each node stores up to 250 cuts").
+const DefaultCutLimit = 250
+
+// DefaultPolicy reproduces the vanilla ABC heuristic: sort cuts by their
+// number of leaves, filter dominated cuts, and keep the best Limit cuts.
+type DefaultPolicy struct {
+	// Limit is the per-node cut budget; zero means DefaultCutLimit.
+	Limit int
+}
+
+// Process sorts by leaf count, removes dominated cuts and truncates.
+func (p DefaultPolicy) Process(g *aig.AIG, n uint32, cs []Cut) []Cut {
+	SortByLeaves(cs)
+	cs = FilterDominated(cs)
+	limit := p.Limit
+	if limit == 0 {
+		limit = DefaultCutLimit
+	}
+	if len(cs) > limit {
+		cs = cs[:limit]
+	}
+	return cs
+}
+
+// Name implements Policy.
+func (p DefaultPolicy) Name() string { return "abc-default" }
+
+// UnlimitedPolicy keeps every enumerated cut, modelling the paper's
+// "Unlimited ABC" which disables sorting, dominance filtering and the
+// per-node budget. Enumeration is still bounded by the Enumerator MergeCap
+// to stay tractable on the largest designs.
+type UnlimitedPolicy struct{}
+
+// Process returns the list unchanged.
+func (UnlimitedPolicy) Process(g *aig.AIG, n uint32, cs []Cut) []Cut { return cs }
+
+// Name implements Policy.
+func (UnlimitedPolicy) Name() string { return "abc-unlimited" }
+
+// ShufflePolicy randomly permutes each node's cut list and keeps the first
+// Limit cuts without dominance filtering — the design-space exploration
+// strategy of paper §III used both for Fig. 1 and to generate training
+// mappings of diverse QoR.
+type ShufflePolicy struct {
+	Rng *rand.Rand
+	// Limit is the per-node cut budget; zero means DefaultCutLimit.
+	Limit int
+}
+
+// Process shuffles and truncates the cut list.
+func (p *ShufflePolicy) Process(g *aig.AIG, n uint32, cs []Cut) []Cut {
+	p.Rng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+	limit := p.Limit
+	if limit == 0 {
+		limit = DefaultCutLimit
+	}
+	if len(cs) > limit {
+		cs = cs[:limit]
+	}
+	return cs
+}
+
+// Name implements Policy.
+func (p *ShufflePolicy) Name() string { return "random-shuffle" }
+
+// SingleAttributePolicy sorts cuts by one structural feature (ascending or
+// descending) — the single-attribute heuristics the paper evaluated in §III
+// and found inconsistent across designs. Feature indexes follow
+// FeatureNames.
+type SingleAttributePolicy struct {
+	Feature    int
+	Descending bool
+	// Limit is the per-node cut budget; zero means DefaultCutLimit.
+	Limit int
+}
+
+// Process sorts by the configured attribute, filters dominated cuts and
+// truncates, mirroring the vanilla pipeline with a different sort key.
+func (p SingleAttributePolicy) Process(g *aig.AIG, n uint32, cs []Cut) []Cut {
+	keys := make([]float64, len(cs))
+	for i := range cs {
+		keys[i] = cs[i].Features(g, n)[p.Feature]
+	}
+	// Insertion sort keyed by the precomputed feature (stable, small lists).
+	for i := 1; i < len(cs); i++ {
+		c, k := cs[i], keys[i]
+		j := i - 1
+		for j >= 0 && ((p.Descending && keys[j] < k) || (!p.Descending && keys[j] > k)) {
+			cs[j+1], keys[j+1] = cs[j], keys[j]
+			j--
+		}
+		cs[j+1], keys[j+1] = c, k
+	}
+	cs = FilterDominated(cs)
+	limit := p.Limit
+	if limit == 0 {
+		limit = DefaultCutLimit
+	}
+	if len(cs) > limit {
+		cs = cs[:limit]
+	}
+	return cs
+}
+
+// Name implements Policy.
+func (p SingleAttributePolicy) Name() string {
+	dir := "asc"
+	if p.Descending {
+		dir = "desc"
+	}
+	return fmt.Sprintf("sort-%s-%s", FeatureNames[p.Feature], dir)
+}

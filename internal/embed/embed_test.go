@@ -1,0 +1,173 @@
+package embed
+
+import (
+	"testing"
+
+	"slap/internal/aig"
+	"slap/internal/circuits"
+	"slap/internal/cuts"
+)
+
+// paperFigure2Graph rebuilds the AIG of the paper's Fig. 2 closely enough
+// to check the embedding layout conventions.
+func testGraph() (*aig.AIG, aig.Lit, aig.Lit, aig.Lit) {
+	g := aig.New("fig2")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	x := g.And(a, b)       // level 1
+	y := g.And(b.Not(), c) // level 1
+	z := g.And(x.Not(), y) // level 2
+	g.AddPO("f", z.Not())
+	return g, x, y, z
+}
+
+func TestNodeEmbeddingLayout(t *testing.T) {
+	g, x, y, z := testGraph()
+	e := NewEmbedder(g)
+	ez := e.Node(z.Node())
+	// z: has inverted fanout (PO is complemented), level 2 (graph depth 2,
+	// so normalised to 1), fanout 1 (log2(2)=1), reverse level 0; c1 = x
+	// inverted at level 1 (0.5), fanout 1; c2 = y plain at level 1 (0.5),
+	// fanout 1.
+	want := [NodeDim]float64{1, 1, 1, 0, 1, 0.5, 1, 0, 0.5, 1}
+	if ez != want {
+		t.Fatalf("z embedding = %v, want %v", ez, want)
+	}
+	ex := e.Node(x.Node())
+	// x: referenced complemented by z -> invOut 1, level 1 of depth 2
+	// (0.5), reverse level 1 (0.5).
+	if ex[0] != 1 || ex[1] != 0.5 || ex[3] != 0.5 {
+		t.Fatalf("x embedding head = %v", ex[:4])
+	}
+	ey := e.Node(y.Node())
+	// y: c1 = b complemented.
+	if ey[4] != 1 {
+		t.Fatalf("y child-1 inversion flag = %v", ey[4])
+	}
+}
+
+func TestPIEmbeddingChildrenZero(t *testing.T) {
+	g, _, _, _ := testGraph()
+	e := NewEmbedder(g)
+	pi := e.Node(g.PIs()[0])
+	for i := 4; i < NodeDim; i++ {
+		if pi[i] != 0 {
+			t.Fatalf("PI embedding child features must be zero: %v", pi)
+		}
+	}
+}
+
+func TestEmbedderCaches(t *testing.T) {
+	g, _, _, z := testGraph()
+	e := NewEmbedder(g)
+	a := e.Node(z.Node())
+	b := e.Node(z.Node())
+	if a != b {
+		t.Fatalf("cache returned different embeddings")
+	}
+	if !e.done[z.Node()] {
+		t.Fatalf("cache not populated")
+	}
+}
+
+func TestCutEmbeddingShapeAndPadding(t *testing.T) {
+	g, x, y, z := testGraph()
+	e := NewEmbedder(g)
+	enum := &cuts.Enumerator{G: g}
+	c := enum.MakeCut(z.Node(), orderedPair(x.Node(), y.Node()))
+	m := e.Cut(z.Node(), &c)
+	if len(m) != Rows*Cols {
+		t.Fatalf("embedding length = %d, want %d", len(m), Rows*Cols)
+	}
+	// Row 0 is the root embedding.
+	root := e.Node(z.Node())
+	for j := 0; j < Cols; j++ {
+		if m[j] != root[j] {
+			t.Fatalf("row 0 is not the root embedding")
+		}
+	}
+	// Rows 1..2 are the two leaves, rows 3..5 are zero padding.
+	for i := 3; i <= 5; i++ {
+		for j := 0; j < Cols; j++ {
+			if m[i*Cols+j] != 0 {
+				t.Fatalf("padding row %d not zero", i)
+			}
+		}
+	}
+	// Rows 6..14 broadcast the nine (scale-adjusted) cut features: each row
+	// must be constant and the raw-valued features must match Features.
+	feats := c.Features(g, z.Node())
+	for fi := 0; fi < 9; fi++ {
+		for j := 1; j < Cols; j++ {
+			if m[(6+fi)*Cols+j] != m[(6+fi)*Cols] {
+				t.Fatalf("cut feature row %d not broadcast", fi)
+			}
+		}
+	}
+	// Raw features (rootInverted, numLeaves, volume) are unscaled.
+	for _, fi := range []int{0, 1, 2} {
+		if m[(6+fi)*Cols] != feats[fi] {
+			t.Fatalf("raw cut feature %d altered: %f vs %f", fi, m[(6+fi)*Cols], feats[fi])
+		}
+	}
+	// Level features are normalised by graph depth (2).
+	if m[(6+3)*Cols] != feats[3]/2 || m[(6+4)*Cols] != feats[4]/2 {
+		t.Fatalf("level features not depth-normalised")
+	}
+}
+
+func orderedPair(a, b uint32) []uint32 {
+	if a < b {
+		return []uint32{a, b}
+	}
+	return []uint32{b, a}
+}
+
+func TestFeatureGroupsCoverAllPositionsOnce(t *testing.T) {
+	groups := FeatureGroups()
+	if len(groups) != 10+10+9 {
+		t.Fatalf("got %d feature groups, want 29", len(groups))
+	}
+	seen := make(map[int]string)
+	for _, g := range groups {
+		if g.Name == "" || len(g.Positions) == 0 {
+			t.Fatalf("malformed group %+v", g)
+		}
+		for _, p := range g.Positions {
+			if p < 0 || p >= Rows*Cols {
+				t.Fatalf("group %s position %d out of range", g.Name, p)
+			}
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("position %d claimed by both %s and %s", p, prev, g.Name)
+			}
+			seen[p] = g.Name
+		}
+	}
+	if len(seen) != Rows*Cols {
+		t.Fatalf("groups cover %d positions, want %d", len(seen), Rows*Cols)
+	}
+}
+
+func TestCutEmbeddingOnRealCircuit(t *testing.T) {
+	g := circuits.TrainRC16()
+	e := NewEmbedder(g)
+	enum := &cuts.Enumerator{G: g, Policy: cuts.DefaultPolicy{}}
+	res := enum.Run()
+	count := 0
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		for i := range res.Sets[n] {
+			m := e.Cut(n, &res.Sets[n][i])
+			if len(m) != Rows*Cols {
+				t.Fatalf("bad embedding size")
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatalf("no cut embeddings produced")
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"slap/internal/aig"
+	"slap/internal/circuits"
+	"slap/internal/library"
+)
+
+// tiny is the exported CI profile.
+func tiny() Profile { return Tiny() }
+
+func TestProfilesResolve(t *testing.T) {
+	for _, name := range []string{"tiny", "fast", "paper"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Fatalf("profile name %q", p.Name)
+		}
+		if len(Designs(p)) != 14 {
+			t.Fatalf("%s profile has %d designs, want 14 (Table II)", name, len(Designs(p)))
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatalf("unknown profile must fail")
+	}
+}
+
+func TestDesignNamesMatchTable2(t *testing.T) {
+	want := []string{"adder", "bar", "c6288", "max", "rc256b", "rc64b", "sin",
+		"c7552", "mul32-booth", "mul64-booth", "square", "AES", "64b_mult", "Pico RISCV"}
+	ds := Designs(Fast())
+	for i, d := range ds {
+		if d.Name != want[i] {
+			t.Fatalf("design %d = %q, want %q", i, d.Name, want[i])
+		}
+		g := d.Build()
+		if g.NumAnds() == 0 {
+			t.Fatalf("design %s builds empty graph", d.Name)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean(2,8) = %f", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %f", g)
+	}
+}
+
+func TestEndToEndPipelineTiny(t *testing.T) {
+	p := tiny()
+	lib := library.ASAP7ish()
+
+	// §V-B: training.
+	tr, err := RunTraining(p, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := tr.RenderAccuracy()
+	if !strings.Contains(acc, "10-class accuracy") || !strings.Contains(acc, "binary") {
+		t.Fatalf("accuracy report malformed:\n%s", acc)
+	}
+
+	// Table II on three designs (keep the tiny test fast).
+	p2 := p
+	table, err := RunTable2(p2, tr.SLAP, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 14 {
+		t.Fatalf("table2 has %d rows", len(table.Rows))
+	}
+	for _, r := range table.Rows {
+		if r.ABC.Delay <= 0 || r.Unl.Delay <= 0 || r.SLAP.Delay <= 0 {
+			t.Fatalf("row %s has non-positive delay", r.Circuit)
+		}
+		if r.ABC.Cuts <= 0 || r.SLAP.Cuts <= 0 {
+			t.Fatalf("row %s has no cuts", r.Circuit)
+		}
+	}
+	s := table.Summarise()
+	if s.UnlVsABCCuts <= 1.0 {
+		t.Errorf("unlimited should consider more cuts than default: ratio %.2f", s.UnlVsABCCuts)
+	}
+	if s.SLAPvsUnlCuts >= 1.0 {
+		t.Errorf("SLAP should consider fewer cuts than unlimited: ratio %.2f", s.SLAPvsUnlCuts)
+	}
+	rendered := table.Render()
+	if !strings.Contains(rendered, "Geomean") || !strings.Contains(rendered, "adder") {
+		t.Fatalf("table render malformed:\n%s", rendered)
+	}
+	if lines := strings.Count(table.CSV(), "\n"); lines != 15 { // header + 14 rows
+		t.Fatalf("table CSV has %d lines", lines)
+	}
+
+	// Fig. 1 on the smallest design.
+	fig1, err := RunFig1(p, func() *aig.AIG { return circuits.TrainRC16() }, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig1.Points) != p.Fig1Samples {
+		t.Fatalf("fig1 has %d points", len(fig1.Points))
+	}
+	minD, maxD, _, _ := fig1.Spread()
+	if minD <= 0 || maxD < minD {
+		t.Fatalf("fig1 spread degenerate: %f..%f", minD, maxD)
+	}
+	if maxD == minD {
+		t.Errorf("fig1 shows no QoR dispersion (shuffle budget not binding?)")
+	}
+	if !strings.Contains(fig1.CSV(), "abc-default") {
+		t.Fatalf("fig1 CSV missing the default point")
+	}
+	_ = fig1.Render()
+
+	// Fig. 5.
+	fig5 := RunFig5(p, tr, nil)
+	if len(fig5.Importances) != 29 {
+		t.Fatalf("fig5 has %d features", len(fig5.Importances))
+	}
+	if !strings.Contains(fig5.CSV(), "feature,") {
+		t.Fatalf("fig5 CSV malformed")
+	}
+	_ = fig5.Render()
+
+	// §III ablation on the first three designs.
+	abl, err := RunAblation(p, lib, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl.Designs) != 3 || len(abl.Policies) != 7 {
+		t.Fatalf("ablation shape %dx%d", len(abl.Designs), len(abl.Policies))
+	}
+	_ = abl.Render()
+	_ = abl.NoConsistentWinner()
+}
+
+func TestQoRADP(t *testing.T) {
+	q := QoR{Area: 3, Delay: 4}
+	if q.ADP() != 12 {
+		t.Fatalf("ADP = %f", q.ADP())
+	}
+}
+
+func TestSortRowsByName(t *testing.T) {
+	tb := &Table2{Rows: []Table2Row{{Circuit: "b"}, {Circuit: "a"}}}
+	tb.SortRowsByName()
+	if tb.Rows[0].Circuit != "a" {
+		t.Fatalf("rows not sorted")
+	}
+}
+
+func TestExtendedDesigns(t *testing.T) {
+	p := tiny()
+	for _, d := range ExtendedDesigns(p) {
+		g := d.Build()
+		if g.NumAnds() == 0 {
+			t.Fatalf("extended design %s empty", d.Name)
+		}
+	}
+	if len(ExtendedDesigns(Fast())) != 4 || len(ExtendedDesigns(Paper())) != 4 {
+		t.Fatalf("extended design count wrong")
+	}
+	// End-to-end through the flow with a tiny model.
+	lib := library.ASAP7ish()
+	tr, err := RunTraining(p, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := RunExtended(p, tr.SLAP, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.Rows) != 4 {
+		t.Fatalf("extended table has %d rows", len(ext.Rows))
+	}
+	if !strings.Contains(RenderExtended(ext), "div") {
+		t.Fatalf("extended render malformed")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"slap/internal/aig"
+	"slap/internal/circuits"
+	"slap/internal/core"
+	"slap/internal/cuts"
+	"slap/internal/library"
+	"slap/internal/mapper"
+)
+
+// ExtendedDesigns returns the EPFL-style arithmetic blocks the paper
+// explicitly skipped (§V-C: "the biggest arithmetic blocks' results are not
+// present as the data-frame generation with pandas takes too long") —
+// divider, square root, log2 and hypotenuse. This implementation has no
+// such bottleneck, so they run as a bonus experiment.
+func ExtendedDesigns(p Profile) []Design {
+	divBits := 16
+	sqrtBits := 32
+	logBits := 32
+	hypBits := 16
+	if p.Name == "paper" {
+		divBits, sqrtBits, logBits, hypBits = 32, 64, 32, 32
+	}
+	if p.Name == "tiny" || p.Name == "bench" {
+		divBits, sqrtBits, logBits, hypBits = 8, 16, 16, 8
+	}
+	return []Design{
+		{"div", func() *aig.AIG { return circuits.Divider(divBits) }},
+		{"sqrt", func() *aig.AIG { return circuits.Sqrt(sqrtBits) }},
+		{"log2", func() *aig.AIG { return circuits.Log2(logBits, 8) }},
+		{"hypot", func() *aig.AIG { return circuits.Hypot(hypBits) }},
+	}
+}
+
+// RunExtended maps the extended designs under the three flows, producing a
+// Table-II-shaped result for the blocks the paper could not run.
+func RunExtended(p Profile, s *core.SLAP, lib *library.Library, progress func(string)) (*Table2, error) {
+	if progress == nil {
+		progress = func(string) {}
+	}
+	t := &Table2{ProfileName: p.Name + "-extended"}
+	for _, d := range ExtendedDesigns(p) {
+		g := d.Build()
+		progress(fmt.Sprintf("extended: %s (%d ands)", d.Name, g.NumAnds()))
+		abc, err := mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.DefaultPolicy{}})
+		if err != nil {
+			return nil, fmt.Errorf("extended: %s/abc: %w", d.Name, err)
+		}
+		unl, err := mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.UnlimitedPolicy{}})
+		if err != nil {
+			return nil, fmt.Errorf("extended: %s/unlimited: %w", d.Name, err)
+		}
+		sl, err := s.Map(g)
+		if err != nil {
+			return nil, fmt.Errorf("extended: %s/slap: %w", d.Name, err)
+		}
+		t.Rows = append(t.Rows, Table2Row{
+			Circuit: d.Name,
+			ABC:     QoR{Area: abc.Area, Delay: abc.Delay, Cuts: abc.CutsConsidered},
+			Unl:     QoR{Area: unl.Area, Delay: unl.Delay, Cuts: unl.CutsConsidered},
+			SLAP:    QoR{Area: sl.Area, Delay: sl.Delay, Cuts: sl.CutsConsidered},
+		})
+	}
+	return t, nil
+}
+
+// RenderExtended labels the extended table.
+func RenderExtended(t *Table2) string {
+	var b strings.Builder
+	b.WriteString("Extended designs (EPFL blocks the paper skipped)\n")
+	b.WriteString(t.Render())
+	return b.String()
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§V): the Fig. 1 design-space scatter, the §V-B model
+// accuracy numbers, the Table II three-way QoR comparison, the Fig. 5
+// permutation feature importances, and the §III single-attribute ablation.
+//
+// Each experiment runs under a Profile. The "paper" profile uses the
+// original design sizes; the "fast" profile scales the largest designs down
+// so the full suite regenerates in minutes on a laptop (per-design scaling
+// is recorded in EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+
+	"slap/internal/aig"
+	"slap/internal/circuits"
+)
+
+// Profile fixes all experiment parameters.
+type Profile struct {
+	// Name is "fast" or "paper".
+	Name string
+
+	// Design widths (see Designs for the mapping to Table II rows).
+	AdderBits   int
+	BarBits     int
+	C6288Bits   int
+	MaxWay      int
+	MaxBits     int
+	RCBigBits   int
+	RCSmallBits int
+	SinBits     int
+	ALUBits     int
+	Booth1Bits  int
+	Booth2Bits  int
+	SquareBits  int
+	AESRounds   int
+	MultBits    int
+
+	// Training parameters (§IV-B / §V-B).
+	TrainMaps   int
+	TrainEpochs int
+	Filters     int
+
+	// Fig. 1 sampling.
+	Fig1Samples int
+	// ShuffleLimit is the per-node cut budget for random-shuffle flows;
+	// the budget must truncate for shuffling to disperse QoR (DESIGN.md).
+	ShuffleLimit int
+
+	// Fig. 5 permutation rounds.
+	ImportanceRounds int
+
+	// Seed makes every experiment reproducible.
+	Seed int64
+}
+
+// Fast returns the scaled-down profile used by tests and benchmarks.
+func Fast() Profile {
+	return Profile{
+		Name:      "fast",
+		AdderBits: 64, BarBits: 32, C6288Bits: 12,
+		MaxWay: 4, MaxBits: 32,
+		RCBigBits: 128, RCSmallBits: 64,
+		SinBits: 10, ALUBits: 32,
+		Booth1Bits: 12, Booth2Bits: 16,
+		SquareBits: 16, AESRounds: 1, MultBits: 16,
+		TrainMaps: 150, TrainEpochs: 15, Filters: 32,
+		Fig1Samples: 200, ShuffleLimit: 16,
+		ImportanceRounds: 5,
+		Seed:             1,
+	}
+}
+
+// Paper returns the full-size profile matching the paper's benchmarks.
+func Paper() Profile {
+	return Profile{
+		Name:      "paper",
+		AdderBits: 128, BarBits: 128, C6288Bits: 16,
+		MaxWay: 4, MaxBits: 128,
+		RCBigBits: 256, RCSmallBits: 64,
+		SinBits: 16, ALUBits: 32,
+		Booth1Bits: 32, Booth2Bits: 64,
+		SquareBits: 64, AESRounds: 10, MultBits: 64,
+		TrainMaps: 1250, TrainEpochs: 50, Filters: 128,
+		Fig1Samples: 10000, ShuffleLimit: 16,
+		ImportanceRounds: 10,
+		Seed:             1,
+	}
+}
+
+// Tiny returns a minimal profile for CI and smoke tests: every design is
+// scaled to run the full pipeline in seconds.
+func Tiny() Profile {
+	p := Fast()
+	p.Name = "tiny"
+	p.AdderBits, p.BarBits, p.C6288Bits = 16, 16, 6
+	p.MaxWay, p.MaxBits = 2, 8
+	p.RCBigBits, p.RCSmallBits = 24, 12
+	p.SinBits, p.ALUBits = 8, 12
+	p.Booth1Bits, p.Booth2Bits = 6, 8
+	p.SquareBits, p.AESRounds, p.MultBits = 8, 1, 8
+	p.TrainMaps, p.TrainEpochs, p.Filters = 40, 6, 8
+	p.Fig1Samples = 24
+	p.ImportanceRounds = 2
+	return p
+}
+
+// ByName resolves a profile name.
+func ByName(name string) (Profile, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "fast":
+		return Fast(), nil
+	case "paper":
+		return Paper(), nil
+	default:
+		return Profile{}, fmt.Errorf("experiments: unknown profile %q (want tiny, fast or paper)", name)
+	}
+}
+
+// Design is one Table II row.
+type Design struct {
+	// Name matches the paper's Table II circuit column.
+	Name string
+	// Build generates the subject graph.
+	Build func() *aig.AIG
+}
+
+// Designs returns the 14 Table II designs under the profile's sizes, in the
+// paper's row order.
+func Designs(p Profile) []Design {
+	return []Design{
+		{"adder", func() *aig.AIG { return circuits.PrefixAdder(p.AdderBits) }},
+		{"bar", func() *aig.AIG { return circuits.BarrelShifter(p.BarBits) }},
+		{"c6288", func() *aig.AIG { return circuits.ArrayMultiplier(p.C6288Bits) }},
+		{"max", func() *aig.AIG { return circuits.MaxTree(p.MaxWay, p.MaxBits) }},
+		{"rc256b", func() *aig.AIG { return circuits.RippleCarryAdder(p.RCBigBits) }},
+		{"rc64b", func() *aig.AIG { return circuits.RippleCarryAdder(p.RCSmallBits) }},
+		{"sin", func() *aig.AIG { return circuits.SinePoly(p.SinBits) }},
+		{"c7552", func() *aig.AIG { return circuits.ALUCompare(p.ALUBits) }},
+		{"mul32-booth", func() *aig.AIG { return circuits.BoothMultiplier(p.Booth1Bits) }},
+		{"mul64-booth", func() *aig.AIG { return circuits.BoothMultiplier(p.Booth2Bits) }},
+		{"square", func() *aig.AIG { return circuits.Squarer(p.SquareBits) }},
+		{"AES", func() *aig.AIG { return circuits.AES(p.AESRounds) }},
+		{"64b_mult", func() *aig.AIG { return circuits.ArrayMultiplier(p.MultBits) }},
+		{"Pico RISCV", circuits.RiscVCore},
+	}
+}

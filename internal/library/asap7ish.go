@@ -1,0 +1,71 @@
+package library
+
+import "strings"
+
+// asap7ishText is the built-in synthetic standard-cell library. It stands in
+// for the ASAP 7nm PDK used by the paper: the cell set, area ratios and
+// delay ranges follow the shape of a real 7nm library (inverters/NANDs
+// cheapest and fastest, XORs and wide complex gates larger and slower,
+// delays in the picosecond range, areas in µm²), so the mapper faces the
+// same trade-offs even though absolute numbers are synthetic.
+const asap7ishText = `
+# name        area   function                       intrinsic  load-slope
+GATE inv      0.47   O=!a                           DELAY 4.5  SLOPE 1.6
+GATE buf      0.70   O=a                            DELAY 7.0  SLOPE 1.2
+GATE nand2    0.70   O=!(a&b)                       DELAY 7.5  SLOPE 2.0
+GATE nor2     0.70   O=!(a|b)                       DELAY 8.5  SLOPE 2.4
+GATE and2     0.94   O=a&b                          DELAY 10.5 SLOPE 1.8
+GATE or2      0.94   O=a|b                          DELAY 11.0 SLOPE 1.8
+GATE nand3    0.94   O=!(a&b&c)                     DELAY 9.5  SLOPE 2.3
+GATE nor3     0.94   O=!(a|b|c)                     DELAY 11.5 SLOPE 2.8
+GATE and3     1.17   O=a&b&c                        DELAY 12.0 SLOPE 1.9
+GATE or3      1.17   O=a|b|c                        DELAY 13.0 SLOPE 1.9
+GATE nand4    1.17   O=!(a&b&c&d)                   DELAY 11.5 SLOPE 2.6
+GATE nor4     1.17   O=!(a|b|c|d)                   DELAY 14.5 SLOPE 3.1
+GATE and4     1.40   O=a&b&c&d                      DELAY 13.5 SLOPE 2.0
+GATE or4      1.40   O=a|b|c|d                      DELAY 15.0 SLOPE 2.0
+GATE nand5    1.40   O=!(a&b&c&d&e)                 DELAY 13.5 SLOPE 2.9
+GATE nor5     1.40   O=!(a|b|c|d|e)                 DELAY 17.0 SLOPE 3.4
+GATE xor2     1.40   O=a^b                          DELAY 12.5 SLOPE 2.2
+GATE xnor2    1.40   O=!(a^b)                       DELAY 12.5 SLOPE 2.2
+GATE xor3     2.10   O=a^b^c                        DELAY 17.5 SLOPE 2.6
+GATE xnor3    2.10   O=!(a^b^c)                     DELAY 17.5 SLOPE 2.6
+GATE aoi21    0.94   O=!((a&b)|c)                   DELAY 9.0  SLOPE 2.5
+GATE oai21    0.94   O=!((a|b)&c)                   DELAY 9.0  SLOPE 2.5
+GATE aoi22    1.17   O=!((a&b)|(c&d))               DELAY 10.5 SLOPE 2.7
+GATE oai22    1.17   O=!((a|b)&(c|d))               DELAY 10.5 SLOPE 2.7
+GATE ao21     1.17   O=(a&b)|c                      DELAY 12.0 SLOPE 1.9
+GATE oa21     1.17   O=(a|b)&c                      DELAY 12.0 SLOPE 1.9
+GATE ao22     1.40   O=(a&b)|(c&d)                  DELAY 13.0 SLOPE 2.0
+GATE oa22     1.40   O=(a|b)&(c|d)                  DELAY 13.0 SLOPE 2.0
+GATE aoi211   1.17   O=!((a&b)|c|d)                 DELAY 11.0 SLOPE 2.8
+GATE oai211   1.17   O=!((a|b)&c&d)                 DELAY 11.0 SLOPE 2.8
+GATE aoi221   1.40   O=!((a&b)|(c&d)|e)             DELAY 12.5 SLOPE 3.0
+GATE oai221   1.40   O=!((a|b)&(c|d)&e)             DELAY 12.5 SLOPE 3.0
+GATE mux2     1.40   O=(a&b)|(!a&c)                 DELAY 13.5 SLOPE 2.1
+GATE muxi2    1.17   O=!((a&b)|(!a&c))              DELAY 11.5 SLOPE 2.4
+GATE maj3     1.64   O=(a&b)|(a&c)|(b&c)            DELAY 14.5 SLOPE 2.3
+GATE majI3    1.40   O=!((a&b)|(a&c)|(b&c))         DELAY 12.5 SLOPE 2.6
+GATE fax      2.34   O=a^b^c                        DELAY 16.0 SLOPE 2.4
+GATE aoai211  1.40   O=!((((a&b)|c)&d))             DELAY 12.0 SLOPE 2.9
+GATE oaoi211  1.40   O=!((((a|b)&c)|d))             DELAY 12.0 SLOPE 2.9
+GATE and5     1.64   O=a&b&c&d&e                    DELAY 15.5 SLOPE 2.1
+GATE or5      1.64   O=a|b|c|d|e                    DELAY 17.0 SLOPE 2.1
+GATE ao222    1.87   O=(a&b)|(c&d)|(e&a)            DELAY 15.0 SLOPE 2.2
+GATE xorand   1.64   O=(a^b)&c                      DELAY 14.5 SLOPE 2.3
+GATE xoror    1.64   O=(a^b)|c                      DELAY 15.0 SLOPE 2.3
+GATE nand2x2  1.17   O=!(a&b)                       DELAY 6.5  SLOPE 1.2
+GATE invx2    0.70   O=!a                           DELAY 3.8  SLOPE 0.9
+GATE invx4    1.17   O=!a                           DELAY 3.2  SLOPE 0.5
+`
+
+// ASAP7ish returns the built-in synthetic 7nm-flavoured library used by all
+// experiments. It is parsed from the embedded genlib-like text, so the same
+// code path covers user-supplied libraries.
+func ASAP7ish() *Library {
+	l, err := Parse("asap7ish", strings.NewReader(asap7ishText))
+	if err != nil {
+		panic("library: built-in asap7ish is invalid: " + err.Error())
+	}
+	return l
+}

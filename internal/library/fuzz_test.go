@@ -1,0 +1,64 @@
+package library
+
+import (
+	"strings"
+	"testing"
+
+	"slap/internal/tt"
+)
+
+// FuzzParseExpr ensures the Boolean expression parser never panics, and
+// that accepted expressions produce functions whose support is within the
+// reported pin count.
+func FuzzParseExpr(f *testing.F) {
+	f.Add("a")
+	f.Add("!a")
+	f.Add("a&b|c^d&e")
+	f.Add("!(a&(b|!c))^d")
+	f.Add("((((a))))")
+	f.Add("a&&b")
+	f.Add("()")
+	f.Add("0|1&a")
+	f.Add("!!!!!e")
+	f.Fuzz(func(t *testing.T, expr string) {
+		fn, pins, err := ParseExpr(expr)
+		if err != nil {
+			return
+		}
+		if pins < 0 || pins > tt.MaxVars {
+			t.Fatalf("pin count %d out of range for %q", pins, expr)
+		}
+		for v := pins; v < tt.MaxVars; v++ {
+			if fn.DependsOn(v) {
+				t.Fatalf("function of %q depends on variable %d beyond pins %d", expr, v, pins)
+			}
+		}
+	})
+}
+
+// FuzzParseLibrary ensures the genlib-like parser never panics and that
+// accepted libraries are internally consistent.
+func FuzzParseLibrary(f *testing.F) {
+	f.Add("GATE inv 1 O=!a DELAY 5 SLOPE 1")
+	f.Add("GATE inv 1 O=!a\nGATE and2 2 O=a&b DELAY 3 SLOPE 0.5")
+	f.Add("# only a comment")
+	f.Add("GATE bad")
+	f.Add("GATE g 1 O=a&f")
+	f.Fuzz(func(t *testing.T, text string) {
+		l, err := Parse("fuzz", strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if l.Inv == nil {
+			t.Fatalf("accepted library without inverter")
+		}
+		for _, g := range l.Gates {
+			if g.NumPins < 1 || g.NumPins > tt.MaxVars {
+				t.Fatalf("gate %s has %d pins", g.Name, g.NumPins)
+			}
+			if len(l.Matches(g.Function)) == 0 {
+				t.Fatalf("gate %s does not match its own function", g.Name)
+			}
+		}
+	})
+}

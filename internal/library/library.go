@@ -1,0 +1,319 @@
+// Package library models a standard-cell library for ASIC technology
+// mapping: cells with Boolean functions (up to five inputs), area, and a
+// linear fanout-load delay model, plus an NPN-indexed Boolean matcher that
+// binds cut functions to cells.
+//
+// Cells are described in a small genlib-like text format:
+//
+//	GATE <name> <area> O=<expr> DELAY <intrinsic-ps> SLOPE <ps-per-fanout>
+//
+// where <expr> is a Boolean expression over pins a..e using ! & | ^ and
+// parentheses. Pin i of the cell is variable i of the function (a=0 ... e=4).
+package library
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"slap/internal/tt"
+)
+
+// Gate is one standard cell.
+type Gate struct {
+	// Name is the cell name, unique within a library.
+	Name string
+	// NumPins is the number of input pins (1..5).
+	NumPins int
+	// Function is the output function over pins (pin i = variable i).
+	Function tt.TT
+	// Area is the cell area in µm².
+	Area float64
+	// Delay is the intrinsic pin-to-output delay in ps (applied to every
+	// pin).
+	Delay float64
+	// Slope is the additional delay in ps per unit of output fanout.
+	Slope float64
+}
+
+// PinDelay returns the pin-to-output delay under the given output load
+// (fanout count).
+func (g *Gate) PinDelay(load int32) float64 {
+	return g.Delay + g.Slope*float64(load)
+}
+
+// Library is a set of gates indexed for NPN Boolean matching.
+type Library struct {
+	// Name identifies the library.
+	Name string
+	// Gates lists all cells.
+	Gates []*Gate
+	// Inv is the designated inverter cell (required).
+	Inv *Gate
+
+	canon     *tt.Canonicalizer
+	byClass   map[tt.TT][]gateEntry
+	matchMemo map[tt.TT][]Match
+}
+
+type gateEntry struct {
+	gate *Gate
+	// t satisfies Apply(gate.Function, t) == canonical word.
+	t tt.Transform
+}
+
+// Match binds a gate to a cut function f: pin i of the gate is driven by
+// cut leaf variable Perm[i], complemented when bit i of Phase is set; the
+// gate output realises f when OutNeg is false, and NOT f when true (an
+// inverter is then required).
+type Match struct {
+	Gate   *Gate
+	Perm   [tt.MaxVars]uint8
+	Phase  uint8
+	OutNeg bool
+}
+
+// New assembles a library from gates, verifying an inverter is present.
+func New(name string, gates []*Gate) (*Library, error) {
+	l := &Library{
+		Name:      name,
+		Gates:     gates,
+		canon:     tt.NewCanonicalizer(),
+		byClass:   make(map[tt.TT][]gateEntry),
+		matchMemo: make(map[tt.TT][]Match),
+	}
+	invTT := tt.Var(0).Not()
+	seen := make(map[string]bool)
+	for _, g := range gates {
+		if g.NumPins < 1 || g.NumPins > tt.MaxVars {
+			return nil, fmt.Errorf("library: gate %s has %d pins", g.Name, g.NumPins)
+		}
+		if seen[g.Name] {
+			return nil, fmt.Errorf("library: duplicate gate name %s", g.Name)
+		}
+		seen[g.Name] = true
+		c := l.canon.Canon(g.Function)
+		l.byClass[c.F] = append(l.byClass[c.F], gateEntry{gate: g, t: c.T})
+		if g.Function == invTT && (l.Inv == nil || g.Area < l.Inv.Area) {
+			l.Inv = g
+		}
+	}
+	if l.Inv == nil {
+		return nil, fmt.Errorf("library: no inverter cell found")
+	}
+	return l, nil
+}
+
+// Matches returns every gate binding that realises the cut function f (or
+// its complement, flagged by OutNeg). Results are memoised per function.
+// The returned slice must not be modified.
+func (l *Library) Matches(f tt.TT) []Match {
+	if m, ok := l.matchMemo[f]; ok {
+		return m
+	}
+	cf := l.canon.Canon(f)
+	entries := l.byClass[cf.F]
+	matches := make([]Match, 0, len(entries))
+	for _, e := range entries {
+		// f == Apply(gate.Function, Compose(e.t, Invert(cf.T))):
+		// Apply(fg, e.t) == C == Apply(f, cf.T), so applying Invert(cf.T)
+		// to both sides yields f.
+		m := tt.Compose(e.t, tt.Invert(cf.T))
+		matches = append(matches, Match{
+			Gate:   e.gate,
+			Perm:   m.Perm,
+			Phase:  m.Phase,
+			OutNeg: m.Out,
+		})
+	}
+	l.matchMemo[f] = matches
+	return matches
+}
+
+// Gate returns the gate with the given name, or nil.
+func (l *Library) Gate(name string) *Gate {
+	for _, g := range l.Gates {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// Parse reads a library in the genlib-like text format. Lines starting with
+// '#' and blank lines are ignored.
+func Parse(name string, r io.Reader) (*Library, error) {
+	sc := bufio.NewScanner(r)
+	var gates []*Gate
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		g, err := parseGateLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("library: line %d: %v", lineNo, err)
+		}
+		gates = append(gates, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(name, gates)
+}
+
+func parseGateLine(line string) (*Gate, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[0] != "GATE" {
+		return nil, fmt.Errorf("expected 'GATE <name> <area> O=<expr> ...', got %q", line)
+	}
+	g := &Gate{Name: fields[1]}
+	area, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad area %q: %v", fields[2], err)
+	}
+	g.Area = area
+	if !strings.HasPrefix(fields[3], "O=") {
+		return nil, fmt.Errorf("expected O=<expr>, got %q", fields[3])
+	}
+	f, numPins, err := ParseExpr(strings.TrimPrefix(fields[3], "O="))
+	if err != nil {
+		return nil, err
+	}
+	g.Function = f
+	g.NumPins = numPins
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i+1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s value %q: %v", fields[i], fields[i+1], err)
+		}
+		switch fields[i] {
+		case "DELAY":
+			g.Delay = v
+		case "SLOPE":
+			g.Slope = v
+		default:
+			return nil, fmt.Errorf("unknown attribute %q", fields[i])
+		}
+	}
+	return g, nil
+}
+
+// ParseExpr parses a Boolean expression over pins a..e and returns its
+// truth table together with the pin count (highest pin used + 1).
+// Grammar:  or := xor ('|' xor)* ; xor := and ('^' and)* ;
+// and := unary ('&' unary)* ; unary := '!' unary | '(' or ')' | pin | 0 | 1.
+func ParseExpr(s string) (tt.TT, int, error) {
+	p := &exprParser{in: strings.ReplaceAll(s, " ", ""), maxPin: -1}
+	f, err := p.parseOr()
+	if err != nil {
+		return 0, 0, err
+	}
+	if p.pos != len(p.in) {
+		return 0, 0, fmt.Errorf("trailing input %q in expression %q", p.in[p.pos:], s)
+	}
+	return f, p.maxPin + 1, nil
+}
+
+type exprParser struct {
+	in     string
+	pos    int
+	maxPin int
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.in) {
+		return p.in[p.pos]
+	}
+	return 0
+}
+
+func (p *exprParser) parseOr() (tt.TT, error) {
+	f, err := p.parseXor()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		g, err := p.parseXor()
+		if err != nil {
+			return 0, err
+		}
+		f = f.Or(g)
+	}
+	return f, nil
+}
+
+func (p *exprParser) parseXor() (tt.TT, error) {
+	f, err := p.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '^' {
+		p.pos++
+		g, err := p.parseAnd()
+		if err != nil {
+			return 0, err
+		}
+		f = f.Xor(g)
+	}
+	return f, nil
+}
+
+func (p *exprParser) parseAnd() (tt.TT, error) {
+	f, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '&' {
+		p.pos++
+		g, err := p.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		f = f.And(g)
+	}
+	return f, nil
+}
+
+func (p *exprParser) parseUnary() (tt.TT, error) {
+	switch c := p.peek(); {
+	case c == '!':
+		p.pos++
+		f, err := p.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		return f.Not(), nil
+	case c == '(':
+		p.pos++
+		f, err := p.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing ')' at position %d in %q", p.pos, p.in)
+		}
+		p.pos++
+		return f, nil
+	case c >= 'a' && c <= 'e':
+		p.pos++
+		pin := int(c - 'a')
+		if pin > p.maxPin {
+			p.maxPin = pin
+		}
+		return tt.Var(pin), nil
+	case c == '0':
+		p.pos++
+		return tt.Const0, nil
+	case c == '1':
+		p.pos++
+		return tt.Const1, nil
+	default:
+		return 0, fmt.Errorf("unexpected character %q at position %d in %q", string(c), p.pos, p.in)
+	}
+}

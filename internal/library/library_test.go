@@ -1,0 +1,246 @@
+package library
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"slap/internal/tt"
+)
+
+func TestParseExprBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want tt.TT
+		pins int
+	}{
+		{"a", tt.Var(0), 1},
+		{"!a", tt.Var(0).Not(), 1},
+		{"a&b", tt.Var(0).And(tt.Var(1)), 2},
+		{"a|b", tt.Var(0).Or(tt.Var(1)), 2},
+		{"a^b", tt.Var(0).Xor(tt.Var(1)), 2},
+		{"!(a&b)", tt.Var(0).And(tt.Var(1)).Not(), 2},
+		{"(a&b)|c", tt.Var(0).And(tt.Var(1)).Or(tt.Var(2)), 3},
+		{"a&b&c&d&e", tt.Var(0).And(tt.Var(1)).And(tt.Var(2)).And(tt.Var(3)).And(tt.Var(4)), 5},
+		{"a ^ b ^ c", tt.Var(0).Xor(tt.Var(1)).Xor(tt.Var(2)), 3},
+		{"!!a", tt.Var(0), 1},
+		{"a&(b|!c)", tt.Var(0).And(tt.Var(1).Or(tt.Var(2).Not())), 3},
+	}
+	for _, c := range cases {
+		f, pins, err := ParseExpr(c.expr)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", c.expr, err)
+		}
+		if f != c.want {
+			t.Errorf("ParseExpr(%q) = %08x, want %08x", c.expr, uint32(f), uint32(c.want))
+		}
+		if pins != c.pins {
+			t.Errorf("ParseExpr(%q) pins = %d, want %d", c.expr, pins, c.pins)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	// & binds tighter than ^, which binds tighter than |.
+	f, _, err := ParseExpr("a|b&c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tt.Var(0).Or(tt.Var(1).And(tt.Var(2)))
+	if f != want {
+		t.Errorf("a|b&c parsed with wrong precedence")
+	}
+	f, _, err = ParseExpr("a^b&c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = tt.Var(0).Xor(tt.Var(1).And(tt.Var(2)))
+	if f != want {
+		t.Errorf("a^b&c parsed with wrong precedence")
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, expr := range []string{"", "a&", "(a", "a)", "f", "a$b", "!"} {
+		if _, _, err := ParseExpr(expr); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", expr)
+		}
+	}
+}
+
+func TestParseGateLine(t *testing.T) {
+	l, err := Parse("t", strings.NewReader(`
+# comment
+GATE inv 0.5 O=!a DELAY 4 SLOPE 1.5
+GATE nand2 0.7 O=!(a&b) DELAY 8 SLOPE 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Gates) != 2 {
+		t.Fatalf("parsed %d gates, want 2", len(l.Gates))
+	}
+	inv := l.Gate("inv")
+	if inv == nil || inv.Area != 0.5 || inv.Delay != 4 || inv.Slope != 1.5 || inv.NumPins != 1 {
+		t.Fatalf("inv parsed wrong: %+v", inv)
+	}
+	if l.Inv != inv {
+		t.Errorf("designated inverter not found")
+	}
+	if l.Gate("nope") != nil {
+		t.Errorf("Gate on unknown name should return nil")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"GATE only3fields O=!a",
+		"GATE g bad_area O=!a",
+		"GATE g 1.0 X=!a",
+		"GATE g 1.0 O=!a DELAY x",
+		"GATE g 1.0 O=!a WEIGHT 3",
+		"GATE g 1.0 O=!f",
+	}
+	for _, c := range cases {
+		if _, err := Parse("t", strings.NewReader(c)); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+	// Library without an inverter must be rejected.
+	if _, err := Parse("t", strings.NewReader("GATE and2 1 O=a&b")); err == nil {
+		t.Errorf("library without inverter should fail")
+	}
+	// Duplicate names must be rejected.
+	if _, err := Parse("t", strings.NewReader("GATE inv 1 O=!a\nGATE inv 1 O=!a")); err == nil {
+		t.Errorf("duplicate gate names should fail")
+	}
+}
+
+func TestASAP7ishLoads(t *testing.T) {
+	l := ASAP7ish()
+	if len(l.Gates) < 30 {
+		t.Fatalf("asap7ish has only %d gates", len(l.Gates))
+	}
+	if l.Inv == nil || l.Inv.Name != "inv" {
+		t.Fatalf("designated inverter = %v", l.Inv)
+	}
+	for _, g := range l.Gates {
+		if g.Area <= 0 || g.Delay <= 0 {
+			t.Errorf("gate %s has non-positive area/delay", g.Name)
+		}
+		if g.Slope > 0 && g.PinDelay(4) <= g.PinDelay(0) {
+			t.Errorf("gate %s load model inconsistent", g.Name)
+		}
+	}
+}
+
+func TestMatchSemantics(t *testing.T) {
+	l := ASAP7ish()
+	// Direct hits: every gate function must match, with at least one match
+	// evaluating back to the exact function.
+	for _, g := range l.Gates {
+		ms := l.Matches(g.Function)
+		if len(ms) == 0 {
+			t.Fatalf("gate %s function has no matches", g.Name)
+		}
+		found := false
+		for _, m := range ms {
+			tr := tt.Transform{Perm: m.Perm, Phase: m.Phase, Out: m.OutNeg}
+			if tt.Apply(m.Gate.Function, tr) != g.Function {
+				t.Fatalf("match for %s does not realise the target function", g.Name)
+			}
+			if m.Gate == g {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("gate %s does not match its own function", g.Name)
+		}
+	}
+}
+
+func TestMatchUnderRandomNPNTransforms(t *testing.T) {
+	l := ASAP7ish()
+	rng := rand.New(rand.NewSource(31))
+	perms := allPerms()
+	for iter := 0; iter < 300; iter++ {
+		g := l.Gates[rng.Intn(len(l.Gates))]
+		tr := tt.Transform{
+			Perm:  perms[rng.Intn(len(perms))],
+			Phase: uint8(rng.Intn(32)),
+			Out:   rng.Intn(2) == 1,
+		}
+		f := tt.Apply(g.Function, tr)
+		ms := l.Matches(f)
+		if len(ms) == 0 {
+			t.Fatalf("transformed %s function has no matches", g.Name)
+		}
+		for _, m := range ms {
+			mt := tt.Transform{Perm: m.Perm, Phase: m.Phase, Out: m.OutNeg}
+			if tt.Apply(m.Gate.Function, mt) != f {
+				t.Fatalf("match %s does not realise transformed %s", m.Gate.Name, g.Name)
+			}
+		}
+	}
+}
+
+func allPerms() [][tt.MaxVars]uint8 {
+	var out [][tt.MaxVars]uint8
+	var rec func(cur []uint8, used uint8)
+	rec = func(cur []uint8, used uint8) {
+		if len(cur) == tt.MaxVars {
+			var p [tt.MaxVars]uint8
+			copy(p[:], cur)
+			out = append(out, p)
+			return
+		}
+		for v := uint8(0); v < tt.MaxVars; v++ {
+			if used&(1<<v) == 0 {
+				rec(append(cur, v), used|1<<v)
+			}
+		}
+	}
+	rec(nil, 0)
+	return out
+}
+
+func TestMatchMemoised(t *testing.T) {
+	l := ASAP7ish()
+	f := tt.Var(0).And(tt.Var(1))
+	a := l.Matches(f)
+	b := l.Matches(f)
+	if len(a) != len(b) {
+		t.Fatalf("memoised matches differ")
+	}
+	if len(a) == 0 {
+		t.Fatalf("AND2 must match")
+	}
+}
+
+func TestNoMatchForUnmappableFunction(t *testing.T) {
+	// A library of just inverters cannot match XOR2.
+	l, err := Parse("t", strings.NewReader("GATE inv 1 O=!a DELAY 1 SLOPE 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := l.Matches(tt.Var(0).Xor(tt.Var(1))); len(ms) != 0 {
+		t.Fatalf("XOR2 should not match an inverter-only library")
+	}
+}
+
+func BenchmarkMatches(b *testing.B) {
+	l := ASAP7ish()
+	rng := rand.New(rand.NewSource(32))
+	fs := make([]tt.TT, 256)
+	for i := range fs {
+		g := l.Gates[rng.Intn(len(l.Gates))]
+		fs[i] = tt.Apply(g.Function, tt.Transform{
+			Perm:  [tt.MaxVars]uint8{1, 0, 3, 2, 4},
+			Phase: uint8(rng.Intn(32)),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Matches(fs[i%len(fs)])
+	}
+}

@@ -1,0 +1,136 @@
+package library
+
+import (
+	"fmt"
+	"sort"
+
+	"slap/internal/tt"
+)
+
+// WithSupergates returns a new library extended with composite cells built
+// by feeding one gate's output into one input pin of another (single-level
+// supergates, after Chatterjee et al., "Reducing structural bias in
+// technology mapping", which the paper builds on). The mapper sees
+// supergates as regular cells, widening the set of cut functions that match
+// a single library entry.
+//
+// Only compositions with at most tt.MaxVars total inputs are kept, and for
+// each new function class only the cheapest-area composition survives.
+// Functions already realised by a native cell are skipped. maxCount bounds
+// the number of added supergates (0 = DefaultSupergateCount), chosen
+// smallest-area first.
+func (l *Library) WithSupergates(maxCount int) (*Library, error) {
+	if maxCount == 0 {
+		maxCount = DefaultSupergateCount
+	}
+	native := make(map[tt.TT]bool)
+	for _, g := range l.Gates {
+		native[g.Function] = true
+	}
+
+	type cand struct {
+		g    *Gate
+		area float64
+	}
+	best := make(map[tt.TT]cand)
+
+	for _, outer := range l.Gates {
+		for pin := 0; pin < outer.NumPins; pin++ {
+			for _, inner := range l.Gates {
+				totalPins := outer.NumPins - 1 + inner.NumPins
+				if totalPins > tt.MaxVars || totalPins < 1 {
+					continue
+				}
+				f := composeFunctions(outer, pin, inner)
+				if native[f] || f == tt.Const0 || f == tt.Const1 {
+					continue
+				}
+				// Degenerate compositions that no longer depend on every
+				// input are redundant with smaller cells.
+				if f.SupportSize() != totalPins {
+					continue
+				}
+				area := outer.Area + inner.Area
+				if prev, ok := best[f]; ok && prev.area <= area {
+					continue
+				}
+				best[f] = cand{
+					g: &Gate{
+						Name:     fmt.Sprintf("sg_%s_%d_%s", outer.Name, pin, inner.Name),
+						NumPins:  totalPins,
+						Function: f,
+						Area:     area,
+						// The worst pin-to-output path goes through both
+						// cells; the inner cell drives a single load.
+						Delay: outer.Delay + inner.PinDelay(1),
+						Slope: outer.Slope,
+					},
+					area: area,
+				}
+			}
+		}
+	}
+
+	cands := make([]cand, 0, len(best))
+	for _, c := range best {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].area != cands[j].area {
+			return cands[i].area < cands[j].area
+		}
+		return cands[i].g.Name < cands[j].g.Name
+	})
+	if len(cands) > maxCount {
+		cands = cands[:maxCount]
+	}
+
+	gates := make([]*Gate, 0, len(l.Gates)+len(cands))
+	gates = append(gates, l.Gates...)
+	for _, c := range cands {
+		gates = append(gates, c.g)
+	}
+	return New(l.Name+"+sg", gates)
+}
+
+// DefaultSupergateCount bounds how many supergates WithSupergates adds.
+const DefaultSupergateCount = 256
+
+// composeFunctions substitutes inner's function into pin `pin` of outer.
+// Input variable layout of the result: outer's remaining pins keep their
+// relative order in variables 0..outer.NumPins-2, followed by inner's pins.
+func composeFunctions(outer *Gate, pin int, inner *Gate) tt.TT {
+	outerRest := outer.NumPins - 1
+	var r tt.TT
+	total := outerRest + inner.NumPins
+	for m := 0; m < 1<<uint(total); m++ {
+		// Evaluate inner on its slice of the input vector.
+		innerM := m >> uint(outerRest)
+		innerV := 0
+		if inner.Function.Eval(innerM) {
+			innerV = 1
+		}
+		// Assemble outer's input vector.
+		outerM := 0
+		rest := m & (1<<uint(outerRest) - 1)
+		ri := 0
+		for p := 0; p < outer.NumPins; p++ {
+			var bit int
+			if p == pin {
+				bit = innerV
+			} else {
+				bit = rest >> uint(ri) & 1
+				ri++
+			}
+			outerM |= bit << uint(p)
+		}
+		if outer.Function.Eval(outerM) {
+			// Replicate across unused high variables so the word stays in
+			// the canonical replicated form.
+			for rep := m; rep < tt.NumMinterms; rep += 1 << uint(total) {
+				r |= 1 << uint(rep)
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,110 @@
+package library
+
+import (
+	"strings"
+	"testing"
+
+	"slap/internal/tt"
+)
+
+func TestComposeFunctions(t *testing.T) {
+	nand2 := &Gate{Name: "nand2", NumPins: 2, Function: tt.Var(0).And(tt.Var(1)).Not()}
+	inv := &Gate{Name: "inv", NumPins: 1, Function: tt.Var(0).Not()}
+
+	// inv into pin 0 of nand2: f(x0, x1) = !( !x1 & x0 )? Careful with the
+	// layout: outer's remaining pin (pin 1) becomes variable 0, inner's pin
+	// becomes variable 1. So f = !(!x1 & x0) evaluated as
+	// outer(pin0=inner(x1), pin1=x0) = !(inner(x1) & x0) = !(!x1 & x0).
+	got := composeFunctions(nand2, 0, inv)
+	want := tt.Var(1).Not().And(tt.Var(0)).Not()
+	if got != want {
+		t.Fatalf("compose = %08x, want %08x", uint32(got), uint32(want))
+	}
+
+	// nand2 into pin 1 of nand2 gives an AND-OF-NAND structure over three
+	// variables: !(x0 & !(x1 & x2)).
+	got = composeFunctions(nand2, 1, nand2)
+	want = tt.Var(0).And(tt.Var(1).And(tt.Var(2)).Not()).Not()
+	if got != want {
+		t.Fatalf("nand-nand compose = %08x, want %08x", uint32(got), uint32(want))
+	}
+}
+
+func TestComposeReplicatedForm(t *testing.T) {
+	// The composed word must be independent of unused variables.
+	and2 := &Gate{Name: "and2", NumPins: 2, Function: tt.Var(0).And(tt.Var(1))}
+	inv := &Gate{Name: "inv", NumPins: 1, Function: tt.Var(0).Not()}
+	f := composeFunctions(and2, 0, inv)
+	for v := 2; v < tt.MaxVars; v++ {
+		if f.DependsOn(v) {
+			t.Fatalf("composed function depends on unused variable %d", v)
+		}
+	}
+}
+
+func TestWithSupergates(t *testing.T) {
+	base := ASAP7ish()
+	sg, err := base.WithSupergates(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := len(sg.Gates) - len(base.Gates)
+	if added <= 0 || added > 64 {
+		t.Fatalf("added %d supergates, want 1..64", added)
+	}
+	if !strings.HasSuffix(sg.Name, "+sg") {
+		t.Fatalf("library name = %q", sg.Name)
+	}
+	// No duplicated functions with native gates, full support, sane costs.
+	native := make(map[tt.TT]bool)
+	for _, g := range base.Gates {
+		native[g.Function] = true
+	}
+	for _, g := range sg.Gates[len(base.Gates):] {
+		if native[g.Function] {
+			t.Errorf("supergate %s duplicates a native function", g.Name)
+		}
+		if g.Function.SupportSize() != g.NumPins {
+			t.Errorf("supergate %s support %d != pins %d", g.Name, g.Function.SupportSize(), g.NumPins)
+		}
+		if g.Area <= 0 || g.Delay <= 0 {
+			t.Errorf("supergate %s has bad costs", g.Name)
+		}
+	}
+	// The extended library must still match everything the base matched.
+	for _, g := range base.Gates {
+		if len(sg.Matches(g.Function)) == 0 {
+			t.Errorf("extended library lost match for %s", g.Name)
+		}
+	}
+}
+
+func TestWithSupergatesMatchesNewFunctions(t *testing.T) {
+	base := ASAP7ish()
+	sg, err := base.WithSupergates(0) // default count
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count NPN classes covered before and after.
+	classes := func(l *Library) int {
+		seen := make(map[tt.TT]bool)
+		c := tt.NewCanonicalizer()
+		for _, g := range l.Gates {
+			seen[c.Canon(g.Function).F] = true
+		}
+		return len(seen)
+	}
+	if classes(sg) <= classes(base) {
+		t.Fatalf("supergates did not widen NPN class coverage: %d vs %d", classes(sg), classes(base))
+	}
+	// Every supergate match must evaluate correctly (reuses the transform
+	// verification of the matcher).
+	for _, g := range sg.Gates[len(base.Gates):] {
+		for _, m := range sg.Matches(g.Function) {
+			tr := tt.Transform{Perm: m.Perm, Phase: m.Phase, Out: m.OutNeg}
+			if tt.Apply(m.Gate.Function, tr) != g.Function {
+				t.Fatalf("match for supergate %s does not realise it", g.Name)
+			}
+		}
+	}
+}

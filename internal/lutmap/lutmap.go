@@ -1,0 +1,362 @@
+// Package lutmap implements K-LUT FPGA technology mapping over the same
+// priority-cuts framework as the ASIC mapper: depth-optimal LUT covering
+// with an area-flow recovery pass (the classic FlowMap/if-mapper scheme of
+// the paper's refs [14], [15]).
+//
+// The paper argues its findings "can be extended to benefit FPGA-mapping
+// ... as the nature of the problem is the same"; this package demonstrates
+// exactly that: any cuts.Policy — including the SLAP ML filter via
+// precomputed cut sets — plugs into LUT mapping unchanged.
+package lutmap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"slap/internal/aig"
+	"slap/internal/cuts"
+	"slap/internal/tt"
+)
+
+// Options configures a LUT mapping run.
+type Options struct {
+	// Policy is the cut sorting/filtering policy; nil enumerates
+	// exhaustively (subject to MergeCap).
+	Policy cuts.Policy
+	// MergeCap bounds per-node cut lists during enumeration (0 = default).
+	MergeCap int
+	// CutSets supplies precomputed (e.g. ML-filtered) cut lists, bypassing
+	// enumeration.
+	CutSets *cuts.Result
+	// NoAreaRecovery disables the area-flow pass.
+	NoAreaRecovery bool
+}
+
+// LUT is one lookup table of the mapped network.
+type LUT struct {
+	// Root is the subject node the LUT implements.
+	Root uint32
+	// Leaves are the LUT input nodes.
+	Leaves []uint32
+	// TT is the implemented function over the leaves.
+	TT tt.TT
+}
+
+// Result is a mapped LUT network.
+type Result struct {
+	// LUTs lists the network in topological order.
+	LUTs []LUT
+	// Depth is the maximum LUT depth from any PI.
+	Depth int32
+	// CutsConsidered counts cuts exposed to the mapper.
+	CutsConsidered int
+	// PolicyName records the policy.
+	PolicyName string
+
+	g *aig.AIG
+}
+
+// NumLUTs returns the LUT count (the FPGA area metric).
+func (r *Result) NumLUTs() int { return len(r.LUTs) }
+
+// Map covers g with K-feasible LUTs minimising depth, then recovers area
+// under depth constraints.
+func Map(g *aig.AIG, opt Options) (*Result, error) {
+	policyName := "exhaustive"
+	var res *cuts.Result
+	if opt.CutSets != nil {
+		res = opt.CutSets
+		policyName = "precomputed"
+	} else {
+		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap}
+		res = e.Run()
+		if opt.Policy != nil {
+			policyName = opt.Policy.Name()
+		}
+	}
+	n := g.NumNodes()
+	sets := res.Sets
+	ensureFaninCuts(g, sets)
+
+	type choice struct {
+		cutIdx int
+		valid  bool
+	}
+	depth := make([]int32, n)
+	flow := make([]float64, n)
+	best := make([]choice, n)
+	fanoutEst := make([]float64, n)
+	for i := uint32(0); i < uint32(n); i++ {
+		fo := float64(g.Fanout(i))
+		if fo < 1 {
+			fo = 1
+		}
+		fanoutEst[i] = fo
+	}
+
+	// evalCut returns (depth, areaFlow) of covering node with cut c.
+	evalCut := func(c *cuts.Cut) (int32, float64) {
+		var d int32
+		var f float64
+		for _, l := range c.Leaves {
+			if g.IsAnd(l) {
+				if depth[l] > d {
+					d = depth[l]
+				}
+				f += flow[l]
+			}
+		}
+		return d + 1, f + 1
+	}
+
+	// Pass 1: depth-optimal choice per node.
+	selectPass := func(required []int32) {
+		for node := uint32(1); node < uint32(n); node++ {
+			if !g.IsAnd(node) {
+				continue
+			}
+			bd, bf := int32(math.MaxInt32), math.Inf(1)
+			bi := -1
+			for ci := range sets[node] {
+				c := &sets[node][ci]
+				if containsLeaf(c, node) {
+					continue
+				}
+				d, f := evalCut(c)
+				fl := f / fanoutEst[node]
+				ok := required == nil && (d < bd || (d == bd && fl < bf)) ||
+					required != nil && d <= required[node] && (fl < bf || (fl == bf && d < bd))
+				if bi == -1 && (required == nil || d <= required[node]) {
+					ok = true
+				}
+				if ok {
+					bd, bf, bi = d, fl, ci
+				}
+			}
+			if bi == -1 {
+				// No cut meets the requirement: fall back to depth-best.
+				for ci := range sets[node] {
+					c := &sets[node][ci]
+					if containsLeaf(c, node) {
+						continue
+					}
+					d, f := evalCut(c)
+					fl := f / fanoutEst[node]
+					if d < bd || (d == bd && fl < bf) {
+						bd, bf, bi = d, fl, ci
+					}
+				}
+			}
+			if bi == -1 {
+				best[node] = choice{}
+				depth[node] = math.MaxInt32 / 2
+				flow[node] = math.Inf(1)
+				continue
+			}
+			best[node] = choice{cutIdx: bi, valid: true}
+			depth[node] = bd
+			flow[node] = bf
+		}
+	}
+	selectPass(nil)
+
+	if !opt.NoAreaRecovery {
+		// Required depths from the POs.
+		maxDepth := int32(0)
+		for _, po := range g.POs() {
+			d := nodeDepth(g, depth, po.Lit.Node())
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+		required := make([]int32, n)
+		for i := range required {
+			required[i] = math.MaxInt32
+		}
+		for _, po := range g.POs() {
+			if g.IsAnd(po.Lit.Node()) {
+				required[po.Lit.Node()] = maxDepth
+			}
+		}
+		// Reverse topological propagation over the current cover.
+		for node := uint32(n) - 1; node >= 1; node-- {
+			if !g.IsAnd(node) || !best[node].valid || required[node] == math.MaxInt32 {
+				continue
+			}
+			c := &sets[node][best[node].cutIdx]
+			for _, l := range c.Leaves {
+				if g.IsAnd(l) && required[node]-1 < required[l] {
+					required[l] = required[node] - 1
+				}
+			}
+		}
+		selectPass(required)
+	}
+
+	// Cover extraction.
+	needed := make([]bool, n)
+	var stack []uint32
+	push := func(m uint32) {
+		if g.IsAnd(m) && !needed[m] {
+			needed[m] = true
+			stack = append(stack, m)
+		}
+	}
+	for _, po := range g.POs() {
+		push(po.Lit.Node())
+	}
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !best[m].valid {
+			return nil, fmt.Errorf("lutmap: node %d has no feasible cut", m)
+		}
+		c := &sets[m][best[m].cutIdx]
+		for _, l := range c.Leaves {
+			push(l)
+		}
+	}
+
+	out := &Result{
+		CutsConsidered: totalCuts(g, sets),
+		PolicyName:     policyName,
+		g:              g,
+	}
+	finalDepth := make([]int32, n)
+	for node := uint32(1); node < uint32(n); node++ {
+		if !needed[node] {
+			continue
+		}
+		c := &sets[node][best[node].cutIdx]
+		var d int32
+		for _, l := range c.Leaves {
+			if g.IsAnd(l) && finalDepth[l] > d {
+				d = finalDepth[l]
+			}
+		}
+		finalDepth[node] = d + 1
+		if finalDepth[node] > out.Depth {
+			out.Depth = finalDepth[node]
+		}
+		out.LUTs = append(out.LUTs, LUT{
+			Root:   node,
+			Leaves: append([]uint32(nil), c.Leaves...),
+			TT:     c.TT,
+		})
+	}
+	return out, nil
+}
+
+func nodeDepth(g *aig.AIG, depth []int32, n uint32) int32 {
+	if g.IsAnd(n) {
+		return depth[n]
+	}
+	return 0
+}
+
+func containsLeaf(c *cuts.Cut, n uint32) bool {
+	for _, l := range c.Leaves {
+		if l == n {
+			return true
+		}
+	}
+	return false
+}
+
+func totalCuts(g *aig.AIG, sets [][]cuts.Cut) int {
+	total := 0
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if g.IsAnd(n) {
+			total += len(sets[n])
+		}
+	}
+	return total
+}
+
+// ensureFaninCuts guarantees every AND node keeps a usable non-trivial cut
+// (the elementary fanin cut), mirroring the ASIC mapper's fallback.
+func ensureFaninCuts(g *aig.AIG, sets [][]cuts.Cut) {
+	e := &cuts.Enumerator{G: g}
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		has := false
+		for i := range sets[n] {
+			if !containsLeaf(&sets[n][i], n) {
+				has = true
+				break
+			}
+		}
+		if !has {
+			f0, f1 := g.Fanins(n)
+			a, b := f0.Node(), f1.Node()
+			if a > b {
+				a, b = b, a
+			}
+			sets[n] = append(sets[n], e.MakeCut(n, []uint32{a, b}))
+		}
+	}
+}
+
+// Simulate evaluates the LUT network on 64 packed input patterns and
+// returns one word per PO — used for equivalence checking against the
+// subject AIG.
+func (r *Result) Simulate(piValues []uint64) []uint64 {
+	g := r.g
+	if len(piValues) != g.NumPIs() {
+		panic(fmt.Sprintf("lutmap: Simulate needs %d PI words, got %d", g.NumPIs(), len(piValues)))
+	}
+	vals := make([]uint64, g.NumNodes())
+	for i, pi := range g.PIs() {
+		vals[pi] = piValues[i]
+	}
+	for _, lut := range r.LUTs {
+		var out uint64
+		numM := 1 << uint(len(lut.Leaves))
+		for m := 0; m < numM; m++ {
+			if !lut.TT.Eval(m) {
+				continue
+			}
+			term := ^uint64(0)
+			for i, l := range lut.Leaves {
+				v := vals[l]
+				if m>>uint(i)&1 == 0 {
+					v = ^v
+				}
+				term &= v
+			}
+			out |= term
+		}
+		vals[lut.Root] = out
+	}
+	outs := make([]uint64, g.NumPOs())
+	for i, po := range g.POs() {
+		v := vals[po.Lit.Node()]
+		if po.Lit.IsCompl() {
+			v = ^v
+		}
+		outs[i] = v
+	}
+	return outs
+}
+
+// EquivalentTo checks the LUT network against the subject AIG on random
+// patterns.
+func (r *Result) EquivalentTo(g *aig.AIG, rounds int, rng *rand.Rand) error {
+	ins := make([]uint64, g.NumPIs())
+	for round := 0; round < rounds; round++ {
+		for i := range ins {
+			ins[i] = rng.Uint64()
+		}
+		want := g.Simulate(ins)
+		got := r.Simulate(ins)
+		for i := range want {
+			if want[i] != got[i] {
+				return fmt.Errorf("lutmap: PO %d differs from AIG", i)
+			}
+		}
+	}
+	return nil
+}

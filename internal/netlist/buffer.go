@@ -1,0 +1,131 @@
+package netlist
+
+import (
+	"slap/internal/library"
+	"slap/internal/tt"
+)
+
+// InsertBuffers returns a copy of the netlist in which every net driving
+// more than maxLoad sinks is split by a balanced tree of buffer cells, so
+// no net (including buffer outputs) exceeds maxLoad. This is the standard
+// post-mapping fanout-buffering step; without it the linear load-delay
+// model punishes high-fanout nets unrealistically (real flows always
+// buffer them).
+//
+// buf must be a single-input identity cell from the same library. The
+// returned netlist is functionally identical to the input.
+func (n *Netlist) InsertBuffers(buf *library.Gate, maxLoad int) *Netlist {
+	if maxLoad < 2 {
+		maxLoad = 2
+	}
+	out := New(n.Name)
+
+	// Count sinks per net: cell pins plus PO references.
+	sinks := make([]int, n.numNets)
+	for ci := range n.cells {
+		for _, p := range n.cells[ci].Pins {
+			sinks[p]++
+		}
+	}
+	for _, po := range n.pos {
+		sinks[po.Net]++
+	}
+
+	// feeds[old] is the list of new nets to hand out, one per sink, in
+	// sink-visit order; next[old] is the cursor.
+	feeds := make([][]Net, n.numNets)
+	next := make([]int, n.numNets)
+
+	// assign builds the buffer tree for one driver and fills feeds.
+	assign := func(oldNet, newNet Net) {
+		k := sinks[oldNet]
+		if k == 0 {
+			return
+		}
+		feeds[oldNet] = distributeLoad(out, buf, newNet, k, maxLoad)
+	}
+
+	take := func(oldNet Net) Net {
+		switch oldNet {
+		case Const0:
+			return Const0
+		case Const1:
+			return Const1
+		}
+		f := feeds[oldNet]
+		i := next[oldNet]
+		next[oldNet]++
+		return f[i]
+	}
+
+	for i, pi := range n.piNets {
+		newPI := out.AddPI(n.piNames[i])
+		assign(pi, newPI)
+	}
+	for ci := range n.cells {
+		c := &n.cells[ci]
+		pins := make([]Net, len(c.Pins))
+		for pi, p := range c.Pins {
+			pins[pi] = take(p)
+		}
+		newOut := out.AddCell(c.Gate, pins)
+		assign(c.Out, newOut)
+	}
+	for _, po := range n.pos {
+		out.AddPO(po.Name, take(po.Net))
+	}
+	return out
+}
+
+// distributeLoad returns k nets, one per sink, such that src and every
+// created buffer output drive at most maxLoad sinks.
+func distributeLoad(out *Netlist, buf *library.Gate, src Net, k, maxLoad int) []Net {
+	if k <= maxLoad {
+		nets := make([]Net, k)
+		for i := range nets {
+			nets[i] = src
+		}
+		return nets
+	}
+	// One buffer level: nb buffers, each serving up to maxLoad sinks. The
+	// buffers themselves are sinks of the level above (recursively bounded).
+	nb := (k + maxLoad - 1) / maxLoad
+	upper := distributeLoad(out, buf, src, nb, maxLoad)
+	nets := make([]Net, 0, k)
+	remaining := k
+	for i := 0; i < nb; i++ {
+		bo := out.AddCell(buf, []Net{upper[i]})
+		take := maxLoad
+		if take > remaining {
+			take = remaining
+		}
+		for j := 0; j < take; j++ {
+			nets = append(nets, bo)
+		}
+		remaining -= take
+	}
+	return nets
+}
+
+// BufferCell returns the smallest identity (buffer) cell of the library, or
+// nil when the library has none.
+func BufferCell(lib *library.Library) *library.Gate {
+	var best *library.Gate
+	for _, g := range lib.Gates {
+		if g.Function == tt.Var(0) && (best == nil || g.Area < best.Area) {
+			best = g
+		}
+	}
+	return best
+}
+
+// MaxFanout returns the largest sink count over all nets.
+func (n *Netlist) MaxFanout() int32 {
+	var m int32
+	for _, f := range n.Fanouts() {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}

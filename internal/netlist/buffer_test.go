@@ -1,0 +1,115 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertBuffersBoundsFanout(t *testing.T) {
+	l := lib(t)
+	buf := BufferCell(l)
+	if buf == nil {
+		t.Fatalf("asap7ish must have a buffer cell")
+	}
+	// One inverter driving 50 sinks.
+	n := New("hot")
+	a := n.AddPI("a")
+	x := n.AddCell(l.Gate("inv"), []Net{a})
+	for i := 0; i < 50; i++ {
+		y := n.AddCell(l.Gate("inv"), []Net{x})
+		n.AddPO("", y)
+	}
+	if n.MaxFanout() != 50 {
+		t.Fatalf("setup: max fanout = %d", n.MaxFanout())
+	}
+	const maxLoad = 8
+	b := n.InsertBuffers(buf, maxLoad)
+	if got := b.MaxFanout(); got > maxLoad {
+		t.Fatalf("after buffering max fanout = %d > %d", got, maxLoad)
+	}
+	if b.NumCells() <= n.NumCells() {
+		t.Fatalf("buffering added no cells")
+	}
+	if b.NumPIs() != n.NumPIs() || b.NumPOs() != n.NumPOs() {
+		t.Fatalf("buffering changed the interface")
+	}
+	// Functionality preserved on random patterns.
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 4; round++ {
+		in := []uint64{rng.Uint64()}
+		want := n.Simulate(in)
+		got := b.Simulate(in)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("buffering changed PO %d", i)
+			}
+		}
+	}
+}
+
+func TestInsertBuffersDeepTree(t *testing.T) {
+	l := lib(t)
+	buf := BufferCell(l)
+	// Fanout 300 with maxLoad 4 needs a multi-level tree.
+	n := New("deep")
+	a := n.AddPI("a")
+	x := n.AddCell(l.Gate("inv"), []Net{a})
+	for i := 0; i < 300; i++ {
+		n.AddPO("", x)
+	}
+	b := n.InsertBuffers(buf, 4)
+	if got := b.MaxFanout(); got > 4 {
+		t.Fatalf("max fanout %d > 4 after deep buffering", got)
+	}
+	in := []uint64{0xAAAA5555AAAA5555}
+	want := n.Simulate(in)
+	got := b.Simulate(in)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("deep buffering changed PO %d", i)
+		}
+	}
+}
+
+func TestInsertBuffersNoopOnLowFanout(t *testing.T) {
+	l := lib(t)
+	buf := BufferCell(l)
+	n := New("cool")
+	a := n.AddPI("a")
+	b2 := n.AddPI("b")
+	x := n.AddCell(l.Gate("nand2"), []Net{a, b2})
+	n.AddPO("f", x)
+	out := n.InsertBuffers(buf, 8)
+	if out.NumCells() != n.NumCells() {
+		t.Fatalf("buffering a low-fanout netlist added cells")
+	}
+}
+
+func TestInsertBuffersConstantsUntouched(t *testing.T) {
+	l := lib(t)
+	buf := BufferCell(l)
+	n := New("const")
+	a := n.AddPI("a")
+	// Constants fan out widely but need no buffering (tie cells).
+	for i := 0; i < 40; i++ {
+		x := n.AddCell(l.Gate("and2"), []Net{a, Const1})
+		n.AddPO("", x)
+	}
+	out := n.InsertBuffers(buf, 8)
+	in := []uint64{0x123456789ABCDEF0}
+	want := n.Simulate(in)
+	got := out.Simulate(in)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("constant handling broken at PO %d", i)
+		}
+	}
+}
+
+func TestBufferCellMissing(t *testing.T) {
+	// A library without an identity cell yields nil.
+	l := mustParse(t, "GATE inv 1 O=!a DELAY 5 SLOPE 1")
+	if BufferCell(l) != nil {
+		t.Fatalf("inverter-only library should have no buffer cell")
+	}
+}

@@ -1,0 +1,301 @@
+// Package netlist represents technology-mapped gate-level netlists and
+// provides static timing analysis (arrival/required/slack, critical path),
+// area accounting, and bit-parallel simulation for equivalence checking
+// against the source AIG.
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"slap/internal/aig"
+	"slap/internal/library"
+)
+
+// Net identifies a signal. Nets 0 and 1 are the constant-false and
+// constant-true nets; primary inputs and cell outputs get fresh ids.
+type Net int32
+
+// Constant nets.
+const (
+	Const0 Net = 0
+	Const1 Net = 1
+)
+
+// Cell is one placed gate instance.
+type Cell struct {
+	// Gate is the library cell.
+	Gate *library.Gate
+	// Pins holds the driving net of each input pin (len == Gate.NumPins).
+	Pins []Net
+	// Out is the output net.
+	Out Net
+}
+
+// PO is a named primary output.
+type PO struct {
+	Name string
+	Net  Net
+}
+
+// Netlist is a combinational mapped netlist. Cells are stored in
+// topological order (pin nets are always defined before use).
+type Netlist struct {
+	Name string
+
+	piNames []string
+	piNets  []Net
+	cells   []Cell
+	pos     []PO
+	numNets Net
+}
+
+// New creates an empty netlist.
+func New(name string) *Netlist {
+	return &Netlist{Name: name, numNets: 2}
+}
+
+// AddPI creates a primary input net.
+func (n *Netlist) AddPI(name string) Net {
+	net := n.numNets
+	n.numNets++
+	if name == "" {
+		name = fmt.Sprintf("pi%d", len(n.piNames))
+	}
+	n.piNames = append(n.piNames, name)
+	n.piNets = append(n.piNets, net)
+	return net
+}
+
+// AddCell instantiates a gate driven by the given pin nets and returns its
+// output net. Pin nets must already exist.
+func (n *Netlist) AddCell(g *library.Gate, pins []Net) Net {
+	if len(pins) != g.NumPins {
+		panic(fmt.Sprintf("netlist: gate %s needs %d pins, got %d", g.Name, g.NumPins, len(pins)))
+	}
+	for _, p := range pins {
+		if p >= n.numNets {
+			panic(fmt.Sprintf("netlist: pin net %d used before definition", p))
+		}
+	}
+	out := n.numNets
+	n.numNets++
+	n.cells = append(n.cells, Cell{Gate: g, Pins: append([]Net(nil), pins...), Out: out})
+	return out
+}
+
+// AddPO registers a primary output.
+func (n *Netlist) AddPO(name string, net Net) {
+	if net >= n.numNets {
+		panic(fmt.Sprintf("netlist: PO net %d used before definition", net))
+	}
+	n.pos = append(n.pos, PO{Name: name, Net: net})
+}
+
+// NumCells returns the number of placed gates.
+func (n *Netlist) NumCells() int { return len(n.cells) }
+
+// NumPIs returns the number of primary inputs.
+func (n *Netlist) NumPIs() int { return len(n.piNets) }
+
+// NumPOs returns the number of primary outputs.
+func (n *Netlist) NumPOs() int { return len(n.pos) }
+
+// Cells returns the placed cells in topological order.
+func (n *Netlist) Cells() []Cell { return n.cells }
+
+// POs returns the primary outputs.
+func (n *Netlist) POs() []PO { return n.pos }
+
+// Area returns the summed cell area in µm².
+func (n *Netlist) Area() float64 {
+	var a float64
+	for i := range n.cells {
+		a += n.cells[i].Gate.Area
+	}
+	return a
+}
+
+// CellCounts returns a histogram of cell names.
+func (n *Netlist) CellCounts() map[string]int {
+	h := make(map[string]int)
+	for i := range n.cells {
+		h[n.cells[i].Gate.Name]++
+	}
+	return h
+}
+
+// Fanouts returns the fanout count of every net (pin references plus PO
+// references).
+func (n *Netlist) Fanouts() []int32 {
+	fo := make([]int32, n.numNets)
+	for i := range n.cells {
+		for _, p := range n.cells[i].Pins {
+			fo[p]++
+		}
+	}
+	for _, po := range n.pos {
+		fo[po.Net]++
+	}
+	return fo
+}
+
+// Timing is the result of static timing analysis.
+type Timing struct {
+	// Arrival[net] is the latest signal arrival time in ps.
+	Arrival []float64
+	// Required[net] is the latest permissible arrival given the circuit
+	// delay as the deadline.
+	Required []float64
+	// Delay is the circuit delay in ps (max PO arrival).
+	Delay float64
+	// CriticalPath lists the cell indices along one worst path, from the
+	// cell driving the worst PO back towards the inputs.
+	CriticalPath []int
+}
+
+// Slack returns required minus arrival for a net.
+func (t *Timing) Slack(net Net) float64 { return t.Required[net] - t.Arrival[net] }
+
+// STA runs static timing analysis with the library's linear fanout-load
+// delay model.
+func (n *Netlist) STA() *Timing {
+	fo := n.Fanouts()
+	arr := make([]float64, n.numNets)
+	driver := make([]int, n.numNets) // cell index driving each net, -1 otherwise
+	for i := range driver {
+		driver[i] = -1
+	}
+	for ci := range n.cells {
+		c := &n.cells[ci]
+		worst := 0.0
+		d := c.Gate.PinDelay(fo[c.Out])
+		for _, p := range c.Pins {
+			if a := arr[p] + d; a > worst {
+				worst = a
+			}
+		}
+		arr[c.Out] = worst
+		driver[c.Out] = ci
+	}
+	delay := 0.0
+	worstPO := Net(-1)
+	for _, po := range n.pos {
+		if arr[po.Net] >= delay {
+			delay = arr[po.Net]
+			worstPO = po.Net
+		}
+	}
+	req := make([]float64, n.numNets)
+	for i := range req {
+		req[i] = math.Inf(1)
+	}
+	for _, po := range n.pos {
+		if delay < req[po.Net] {
+			req[po.Net] = delay
+		}
+	}
+	for ci := len(n.cells) - 1; ci >= 0; ci-- {
+		c := &n.cells[ci]
+		d := c.Gate.PinDelay(fo[c.Out])
+		for _, p := range c.Pins {
+			if r := req[c.Out] - d; r < req[p] {
+				req[p] = r
+			}
+		}
+	}
+	// Trace one critical path from the worst PO.
+	var path []int
+	cur := worstPO
+	for cur >= 0 && driver[cur] >= 0 {
+		ci := driver[cur]
+		path = append(path, ci)
+		c := &n.cells[ci]
+		d := c.Gate.PinDelay(fo[c.Out])
+		next := Net(-1)
+		for _, p := range c.Pins {
+			if arr[p]+d == arr[c.Out] {
+				next = p
+				break
+			}
+		}
+		cur = next
+	}
+	return &Timing{Arrival: arr, Required: req, Delay: delay, CriticalPath: path}
+}
+
+// Simulate evaluates the netlist on 64 packed input patterns (one word per
+// PI, in PI creation order) and returns one packed word per PO.
+func (n *Netlist) Simulate(piValues []uint64) []uint64 {
+	if len(piValues) != len(n.piNets) {
+		panic(fmt.Sprintf("netlist: Simulate needs %d PI words, got %d", len(n.piNets), len(piValues)))
+	}
+	vals := make([]uint64, n.numNets)
+	vals[Const1] = ^uint64(0)
+	for i, net := range n.piNets {
+		vals[net] = piValues[i]
+	}
+	for ci := range n.cells {
+		c := &n.cells[ci]
+		vals[c.Out] = evalGate(c.Gate, c.Pins, vals)
+	}
+	out := make([]uint64, len(n.pos))
+	for i, po := range n.pos {
+		out[i] = vals[po.Net]
+	}
+	return out
+}
+
+// evalGate evaluates a gate's truth table on packed pin values by summing
+// the satisfied minterms.
+func evalGate(g *library.Gate, pins []Net, vals []uint64) uint64 {
+	var out uint64
+	numM := 1 << uint(g.NumPins)
+	for m := 0; m < numM; m++ {
+		if !g.Function.Eval(m) {
+			continue
+		}
+		term := ^uint64(0)
+		for i := 0; i < g.NumPins; i++ {
+			v := vals[pins[i]]
+			if m>>uint(i)&1 == 0 {
+				v = ^v
+			}
+			term &= v
+		}
+		out |= term
+	}
+	return out
+}
+
+// EquivalentTo checks functional equivalence against the source AIG on
+// `rounds` batches of 64 random patterns. PO order must correspond.
+func (n *Netlist) EquivalentTo(g *aig.AIG, rounds int, rng *rand.Rand) error {
+	if n.NumPIs() != g.NumPIs() || n.NumPOs() != g.NumPOs() {
+		return fmt.Errorf("netlist: interface mismatch: %d/%d PIs, %d/%d POs",
+			n.NumPIs(), g.NumPIs(), n.NumPOs(), g.NumPOs())
+	}
+	ins := make([]uint64, g.NumPIs())
+	for r := 0; r < rounds; r++ {
+		for i := range ins {
+			ins[i] = rng.Uint64()
+		}
+		want := g.Simulate(ins)
+		got := n.Simulate(ins)
+		for i := range want {
+			if want[i] != got[i] {
+				return fmt.Errorf("netlist: PO %d (%s) differs from AIG on round %d",
+					i, n.pos[i].Name, r)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats returns a one-line summary: cells, area, delay.
+func (n *Netlist) Stats() string {
+	t := n.STA()
+	return fmt.Sprintf("%s: cells=%d area=%.2fµm² delay=%.2fps",
+		n.Name, n.NumCells(), n.Area(), t.Delay)
+}

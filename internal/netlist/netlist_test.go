@@ -1,0 +1,313 @@
+package netlist
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"slap/internal/aig"
+	"slap/internal/library"
+)
+
+func lib(t testing.TB) *library.Library {
+	t.Helper()
+	return library.ASAP7ish()
+}
+
+func TestBuildAndArea(t *testing.T) {
+	l := lib(t)
+	n := New("t")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	nand2 := l.Gate("nand2")
+	inv := l.Gate("inv")
+	x := n.AddCell(nand2, []Net{a, b})
+	y := n.AddCell(inv, []Net{x})
+	n.AddPO("f", y)
+	if n.NumCells() != 2 || n.NumPIs() != 2 || n.NumPOs() != 1 {
+		t.Fatalf("counts wrong: %s", n.Stats())
+	}
+	want := nand2.Area + inv.Area
+	if math.Abs(n.Area()-want) > 1e-9 {
+		t.Fatalf("area = %f, want %f", n.Area(), want)
+	}
+	counts := n.CellCounts()
+	if counts["nand2"] != 1 || counts["inv"] != 1 {
+		t.Fatalf("cell histogram wrong: %v", counts)
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	l := lib(t)
+	n := New("t")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	x := n.AddCell(l.Gate("nand2"), []Net{a, b})
+	y := n.AddCell(l.Gate("inv"), []Net{x})
+	z := n.AddCell(l.Gate("inv"), []Net{x})
+	n.AddPO("y", y)
+	n.AddPO("z", z)
+	fo := n.Fanouts()
+	if fo[a] != 1 || fo[x] != 2 || fo[y] != 1 || fo[z] != 1 {
+		t.Fatalf("fanouts wrong: a=%d x=%d y=%d z=%d", fo[a], fo[x], fo[y], fo[z])
+	}
+}
+
+func TestSTAChain(t *testing.T) {
+	l := lib(t)
+	inv := l.Gate("inv")
+	n := New("chain")
+	cur := n.AddPI("a")
+	const depth = 5
+	for i := 0; i < depth; i++ {
+		cur = n.AddCell(inv, []Net{cur})
+	}
+	n.AddPO("f", cur)
+	tm := n.STA()
+	want := float64(depth) * inv.PinDelay(1)
+	if math.Abs(tm.Delay-want) > 1e-9 {
+		t.Fatalf("chain delay = %f, want %f", tm.Delay, want)
+	}
+	if len(tm.CriticalPath) != depth {
+		t.Fatalf("critical path length = %d, want %d", len(tm.CriticalPath), depth)
+	}
+	// On a pure chain every net has zero slack.
+	for _, ci := range tm.CriticalPath {
+		c := n.Cells()[ci]
+		if s := tm.Slack(c.Out); math.Abs(s) > 1e-9 {
+			t.Fatalf("slack on critical path = %f, want 0", s)
+		}
+	}
+}
+
+func TestSTALoadDependence(t *testing.T) {
+	l := lib(t)
+	inv := l.Gate("inv")
+	// One inverter driving k loads must be slower than driving one.
+	delayWithLoads := func(k int) float64 {
+		n := New("load")
+		a := n.AddPI("a")
+		x := n.AddCell(inv, []Net{a})
+		for i := 0; i < k; i++ {
+			y := n.AddCell(inv, []Net{x})
+			n.AddPO("", y)
+		}
+		// Only the first stage matters for comparison; sink inverters see
+		// load 1 each.
+		return n.STA().Delay
+	}
+	if delayWithLoads(4) <= delayWithLoads(1) {
+		t.Fatalf("higher load must increase delay")
+	}
+}
+
+func TestSTARequiredMonotone(t *testing.T) {
+	l := lib(t)
+	n := New("t")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	x := n.AddCell(l.Gate("nand2"), []Net{a, b})
+	y := n.AddCell(l.Gate("inv"), []Net{x})
+	n.AddPO("f", y)
+	tm := n.STA()
+	for _, net := range []Net{a, b, x, y} {
+		if tm.Slack(net) < -1e9 {
+			t.Fatalf("net %d slack unreasonable: %f", net, tm.Slack(net))
+		}
+		if tm.Required[net]+1e-9 < tm.Arrival[net] {
+			t.Fatalf("net %d has negative slack in a fresh STA", net)
+		}
+	}
+}
+
+func TestSimulateGates(t *testing.T) {
+	l := lib(t)
+	rng := rand.New(rand.NewSource(41))
+	for _, name := range []string{"nand2", "nor2", "xor2", "aoi21", "mux2", "maj3", "xor3", "aoi221"} {
+		g := l.Gate(name)
+		if g == nil {
+			t.Fatalf("gate %s missing", name)
+		}
+		n := New(name)
+		pins := make([]Net, g.NumPins)
+		vals := make([]uint64, g.NumPins)
+		for i := range pins {
+			pins[i] = n.AddPI("")
+			vals[i] = rng.Uint64()
+		}
+		out := n.AddCell(g, pins)
+		n.AddPO("f", out)
+		got := n.Simulate(vals)[0]
+		// Reference: evaluate the truth table lane by lane.
+		for lane := 0; lane < 64; lane++ {
+			m := 0
+			for i := range vals {
+				m |= int(vals[i]>>uint(lane)&1) << uint(i)
+			}
+			want := uint64(0)
+			if g.Function.Eval(m) {
+				want = 1
+			}
+			if got>>uint(lane)&1 != want {
+				t.Fatalf("gate %s lane %d wrong", name, lane)
+			}
+		}
+	}
+}
+
+func TestSimulateConstants(t *testing.T) {
+	l := lib(t)
+	n := New("const")
+	a := n.AddPI("a")
+	x := n.AddCell(l.Gate("and2"), []Net{a, Const1})
+	y := n.AddCell(l.Gate("or2"), []Net{a, Const0})
+	n.AddPO("x", x)
+	n.AddPO("y", y)
+	v := uint64(0xDEADBEEF)
+	out := n.Simulate([]uint64{v})
+	if out[0] != v || out[1] != v {
+		t.Fatalf("constant nets wrong: %x %x", out[0], out[1])
+	}
+}
+
+func TestEquivalentTo(t *testing.T) {
+	l := lib(t)
+	// AIG: f = a AND b; netlist: nand2 + inv.
+	g := aig.New("eq")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO("f", g.And(a, b))
+
+	n := New("eq")
+	na := n.AddPI("a")
+	nb := n.AddPI("b")
+	x := n.AddCell(l.Gate("nand2"), []Net{na, nb})
+	y := n.AddCell(l.Gate("inv"), []Net{x})
+	n.AddPO("f", y)
+	if err := n.EquivalentTo(g, 8, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("equivalence check failed: %v", err)
+	}
+
+	// A wrong netlist must be detected.
+	bad := New("bad")
+	ba := bad.AddPI("a")
+	bb := bad.AddPI("b")
+	bx := bad.AddCell(l.Gate("nor2"), []Net{ba, bb})
+	bad.AddPO("f", bx)
+	if err := bad.EquivalentTo(g, 8, rand.New(rand.NewSource(2))); err == nil {
+		t.Fatalf("inequivalent netlist not detected")
+	}
+
+	// Interface mismatch must be detected.
+	if err := New("empty").EquivalentTo(g, 1, rand.New(rand.NewSource(3))); err == nil {
+		t.Fatalf("interface mismatch not detected")
+	}
+}
+
+func TestPanicsOnMalformedBuild(t *testing.T) {
+	l := lib(t)
+	n := New("p")
+	a := n.AddPI("a")
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("wrong pin count", func() { n.AddCell(l.Gate("nand2"), []Net{a}) })
+	mustPanic("undefined pin net", func() { n.AddCell(l.Gate("inv"), []Net{999}) })
+	mustPanic("undefined PO net", func() { n.AddPO("f", 999) })
+	mustPanic("wrong sim inputs", func() { n.Simulate(nil) })
+}
+
+func BenchmarkSTA(b *testing.B) {
+	l := lib(b)
+	rng := rand.New(rand.NewSource(5))
+	n := New("bench")
+	nets := []Net{n.AddPI(""), n.AddPI(""), n.AddPI(""), n.AddPI("")}
+	gates := []*library.Gate{l.Gate("nand2"), l.Gate("nor2"), l.Gate("xor2"), l.Gate("aoi21")}
+	for i := 0; i < 3000; i++ {
+		g := gates[rng.Intn(len(gates))]
+		pins := make([]Net, g.NumPins)
+		for j := range pins {
+			pins[j] = nets[rng.Intn(len(nets))]
+		}
+		nets = append(nets, n.AddCell(g, pins))
+	}
+	n.AddPO("f", nets[len(nets)-1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.STA()
+	}
+}
+
+func mustParse(t testing.TB, text string) *library.Library {
+	t.Helper()
+	l, err := library.Parse("test", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestSTAPropertyAgainstRecursiveLongestPath cross-checks the iterative STA
+// against an independent recursive longest-path computation on random
+// netlists.
+func TestSTAPropertyAgainstRecursiveLongestPath(t *testing.T) {
+	l := lib(t)
+	gates := []*library.Gate{l.Gate("inv"), l.Gate("nand2"), l.Gate("xor2"), l.Gate("aoi21"), l.Gate("maj3")}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := New("prop")
+		nets := []Net{n.AddPI(""), n.AddPI(""), n.AddPI("")}
+		cellOf := map[Net]int{}
+		for i := 0; i < 40; i++ {
+			g := gates[rng.Intn(len(gates))]
+			pins := make([]Net, g.NumPins)
+			for j := range pins {
+				pins[j] = nets[rng.Intn(len(nets))]
+			}
+			out := n.AddCell(g, pins)
+			cellOf[out] = i
+			nets = append(nets, out)
+		}
+		for i := 0; i < 4; i++ {
+			n.AddPO("", nets[len(nets)-1-rng.Intn(5)])
+		}
+		fo := n.Fanouts()
+		var arrival func(net Net) float64
+		arrival = func(net Net) float64 {
+			ci, ok := cellOf[net]
+			if !ok {
+				return 0
+			}
+			c := n.Cells()[ci]
+			d := c.Gate.PinDelay(fo[c.Out])
+			worst := 0.0
+			for _, p := range c.Pins {
+				if a := arrival(p) + d; a > worst {
+					worst = a
+				}
+			}
+			return worst
+		}
+		tm := n.STA()
+		wantDelay := 0.0
+		for _, po := range n.POs() {
+			if a := arrival(po.Net); a > wantDelay {
+				wantDelay = a
+			}
+		}
+		if math.Abs(tm.Delay-wantDelay) > 1e-9 {
+			t.Fatalf("seed %d: STA delay %f, recursive %f", seed, tm.Delay, wantDelay)
+		}
+		for _, po := range n.POs() {
+			if math.Abs(tm.Arrival[po.Net]-arrival(po.Net)) > 1e-9 {
+				t.Fatalf("seed %d: PO arrival mismatch", seed)
+			}
+		}
+	}
+}

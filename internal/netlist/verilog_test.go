@@ -1,0 +1,108 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T) *Netlist {
+	t.Helper()
+	l := lib(t)
+	n := New("demo-1")
+	a := n.AddPI("a")
+	b := n.AddPI("in[3]")
+	x := n.AddCell(l.Gate("nand2"), []Net{a, b})
+	y := n.AddCell(l.Gate("inv"), []Net{x})
+	z := n.AddCell(l.Gate("and2"), []Net{y, Const1})
+	n.AddPO("out", z)
+	n.AddPO("tied", Const0)
+	return n
+}
+
+func TestWriteVerilog(t *testing.T) {
+	n := buildSmall(t)
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module demo_1(",
+		"input a;",
+		"input in_3_;",
+		"output out;",
+		"nand2 g0 (.a(a), .b(in_3_), .o(",
+		"inv g1 (",
+		"and2 g2 (",
+		"1'b1",
+		"assign tied = 1'b0;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	// One instantiation per cell.
+	if got := strings.Count(v, " g"); got < n.NumCells() {
+		t.Fatalf("expected %d instances, saw %d ' g' markers", n.NumCells(), got)
+	}
+}
+
+func TestWriteBLIF(t *testing.T) {
+	n := buildSmall(t)
+	var buf bytes.Buffer
+	if err := n.WriteBLIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blif := buf.String()
+	for _, want := range []string{
+		".model demo_1",
+		".inputs a in_3_",
+		".outputs out tied",
+		".names const0",
+		".names const1",
+		".end",
+	} {
+		if !strings.Contains(blif, want) {
+			t.Fatalf("blif missing %q:\n%s", want, blif)
+		}
+	}
+	// The NAND2 table must contain the three ON-set cubes of !(a&b).
+	for _, cube := range []string{"00 1", "01 1", "10 1"} {
+		if !strings.Contains(blif, cube) {
+			t.Fatalf("blif missing NAND2 cube %q:\n%s", cube, blif)
+		}
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"abc":     "abc",
+		"a[3]":    "a_3_",
+		"3x":      "_3x",
+		"":        "_",
+		"ok_name": "ok_name",
+		"s/p.q":   "s_p_q",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTimingReport(t *testing.T) {
+	l := lib(t)
+	n := New("chain")
+	cur := n.AddPI("a")
+	for i := 0; i < 3; i++ {
+		cur = n.AddCell(l.Gate("inv"), []Net{cur})
+	}
+	n.AddPO("f", cur)
+	tm := n.STA()
+	rep := n.TimingReport(tm)
+	if !strings.Contains(rep, "circuit delay") || strings.Count(rep, "inv") != 3 {
+		t.Fatalf("timing report malformed:\n%s", rep)
+	}
+}

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save serialises the model (weights and normalisation) with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(m)
+}
+
+// Load deserialises a model written by Save and validates its shape.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func (m *Model) validate() error {
+	if m.Rows <= 0 || m.Cols <= 0 || m.Filters <= 0 || m.Classes <= 0 {
+		return fmt.Errorf("nn: invalid model shape %dx%d filters=%d classes=%d",
+			m.Rows, m.Cols, m.Filters, m.Classes)
+	}
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"ConvW", len(m.ConvW), m.Filters * m.Rows},
+		{"ConvB", len(m.ConvB), m.Filters},
+		{"DenseW", len(m.DenseW), m.Classes * m.Filters * m.Cols},
+		{"DenseB", len(m.DenseB), m.Classes},
+		{"Mean", len(m.Mean), m.Rows * m.Cols},
+		{"Std", len(m.Std), m.Rows * m.Cols},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			return fmt.Errorf("nn: %s has %d entries, want %d", c.name, c.got, c.want)
+		}
+	}
+	return nil
+}

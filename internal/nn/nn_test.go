@@ -1,0 +1,311 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func smallModel(rng *rand.Rand) *Model {
+	return NewModel(3, 2, 4, 3, rng)
+}
+
+func TestForwardProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := smallModel(rng)
+	x := make([]float64, m.Rows*m.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	p := m.Predict(x)
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %f", sum)
+	}
+	if got := m.PredictClass(x); p[got] < p[0] || p[got] < p[1] || p[got] < p[2] {
+		t.Fatalf("PredictClass did not return argmax")
+	}
+}
+
+// TestGradientCheck verifies every analytic gradient against central finite
+// differences — the definitive test that backward() is correct.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := smallModel(rng)
+	x := make([]float64, m.Rows*m.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	label := 1
+
+	a := m.newActs()
+	m.forward(x, a)
+	g := m.newGrads()
+	m.backward(a, label, g)
+
+	const h = 1e-6
+	check := func(name string, w []float64, gw []float64) {
+		for i := range w {
+			orig := w[i]
+			w[i] = orig + h
+			lp := m.Loss(x, label)
+			w[i] = orig - h
+			lm := m.Loss(x, label)
+			w[i] = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-gw[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %.8f vs numeric %.8f", name, i, gw[i], numeric)
+			}
+		}
+	}
+	check("ConvW", m.ConvW, g.convW)
+	check("ConvB", m.ConvB, g.convB)
+	check("DenseW", m.DenseW, g.denseW)
+	check("DenseB", m.DenseB, g.denseB)
+}
+
+// TestTrainingConvergesOnSeparableData trains on a synthetic task where the
+// class is determined by which input region has the largest mean — the
+// model must reach high accuracy quickly.
+func TestTrainingConvergesOnSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewModel(6, 4, 8, 3, rng)
+	n := 600
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		x := make([]float64, 24)
+		cls := rng.Intn(3)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 0.3
+		}
+		// Boost rows 2*cls and 2*cls+1.
+		for r := 2 * cls; r <= 2*cls+1; r++ {
+			for c := 0; c < 4; c++ {
+				x[r*4+c] += 2
+			}
+		}
+		xs[i], ys[i] = x, cls
+	}
+	m.FitNormalization(xs)
+	stats, err := m.Train(xs, ys, TrainConfig{Epochs: 15, BatchSize: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 15 {
+		t.Fatalf("expected 15 epoch stats, got %d", len(stats))
+	}
+	if stats[len(stats)-1].Loss >= stats[0].Loss {
+		t.Fatalf("loss did not decrease: %f -> %f", stats[0].Loss, stats[len(stats)-1].Loss)
+	}
+	if acc := m.Accuracy(xs, ys); acc < 0.95 {
+		t.Fatalf("separable task accuracy %.3f < 0.95", acc)
+	}
+}
+
+func TestTrainRejectsBadInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := smallModel(rng)
+	good := make([]float64, m.Rows*m.Cols)
+	if _, err := m.Train(nil, nil, TrainConfig{}); err == nil {
+		t.Errorf("empty dataset must be rejected")
+	}
+	if _, err := m.Train([][]float64{good}, []int{99}, TrainConfig{}); err == nil {
+		t.Errorf("out-of-range label must be rejected")
+	}
+	if _, err := m.Train([][]float64{{1, 2}}, []int{0}, TrainConfig{}); err == nil {
+		t.Errorf("wrong input length must be rejected")
+	}
+	if _, err := m.Train([][]float64{good}, []int{0, 1}, TrainConfig{}); err == nil {
+		t.Errorf("length mismatch must be rejected")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := smallModel(rng)
+	xs := [][]float64{
+		{1, 2, 3, 4, 5, 6},
+		{3, 2, 5, 4, 9, 6},
+	}
+	m.FitNormalization(xs)
+	// Means.
+	want := []float64{2, 2, 4, 4, 7, 6}
+	for i, w := range want {
+		if math.Abs(m.Mean[i]-w) > 1e-12 {
+			t.Fatalf("Mean[%d] = %f, want %f", i, m.Mean[i], w)
+		}
+	}
+	// Zero-variance positions must get Std 1.
+	if m.Std[1] != 1 || m.Std[3] != 1 || m.Std[5] != 1 {
+		t.Fatalf("constant positions should have Std 1: %v", m.Std)
+	}
+	if m.Std[0] <= 0 || m.Std[4] <= 0 {
+		t.Fatalf("non-constant positions need positive Std")
+	}
+}
+
+func TestBinaryAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewModel(2, 2, 2, 10, rng)
+	// With random weights, check the bookkeeping, not the learning: the
+	// binary accuracy over one sample is 1 exactly when prediction and
+	// label fall on the same side of the threshold.
+	x := []float64{1, 2, 3, 4}
+	pred := m.PredictClass(x)
+	for _, label := range []int{0, 9} {
+		acc := m.BinaryAccuracy([][]float64{x}, []int{label}, 6)
+		want := 0.0
+		if (pred <= 6) == (label <= 6) {
+			want = 1
+		}
+		if acc != want {
+			t.Fatalf("binary accuracy = %f, want %f", acc, want)
+		}
+	}
+	if m.BinaryAccuracy(nil, nil, 6) != 0 {
+		t.Fatalf("empty set binary accuracy must be 0")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := smallModel(rng)
+	x := make([]float64, m.Rows*m.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := m.Predict(x), m2.Predict(x)
+	for i := range p1 {
+		if math.Abs(p1[i]-p2[i]) > 1e-15 {
+			t.Fatalf("round-tripped model predicts differently")
+		}
+	}
+}
+
+func TestLoadRejectsCorruptModels(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("garbage")); err == nil {
+		t.Fatalf("garbage must not decode")
+	}
+	// A structurally valid gob with inconsistent shapes must be rejected.
+	rng := rand.New(rand.NewSource(9))
+	m := smallModel(rng)
+	m.ConvW = m.ConvW[:1]
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatalf("shape-inconsistent model must be rejected")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := smallModel(rng)
+	path := t.TempDir() + "/model.gob"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumParams() != m.NumParams() {
+		t.Fatalf("param counts differ after file round trip")
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatalf("missing file must error")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// The paper's architecture: 15x10 input, 128 filters, 10 classes.
+	m := NewModel(15, 10, 128, 10, rng)
+	want := 128*15 + 128 + 10*1280 + 10
+	if m.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", m.NumParams(), want)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	build := func() *Model {
+		rng := rand.New(rand.NewSource(12))
+		m := NewModel(4, 3, 4, 2, rng)
+		xs := make([][]float64, 64)
+		ys := make([]int, 64)
+		drng := rand.New(rand.NewSource(13))
+		for i := range xs {
+			x := make([]float64, 12)
+			for j := range x {
+				x[j] = drng.NormFloat64()
+			}
+			xs[i] = x
+			ys[i] = i % 2
+		}
+		m.FitNormalization(xs)
+		// Single worker for a fully deterministic gradient order.
+		if _, err := m.Train(xs, ys, TrainConfig{Epochs: 3, BatchSize: 16, Seed: 14, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := build(), build()
+	for i := range a.ConvW {
+		if a.ConvW[i] != b.ConvW[i] {
+			t.Fatalf("training is not deterministic with a fixed seed")
+		}
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	m := NewModel(15, 10, 128, 10, rng)
+	x := make([]float64, 150)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	a := m.newActs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.forward(x, a)
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	m := NewModel(15, 10, 128, 10, rng)
+	xs := make([][]float64, 1024)
+	ys := make([]int, 1024)
+	for i := range xs {
+		x := make([]float64, 150)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		xs[i] = x
+		ys[i] = rng.Intn(10)
+	}
+	m.FitNormalization(xs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Train(xs, ys, TrainConfig{Epochs: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

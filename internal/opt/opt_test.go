@@ -1,0 +1,144 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"slap/internal/aig"
+	"slap/internal/circuits"
+)
+
+func equivalent(t *testing.T, a, b *aig.AIG, seed int64) {
+	t.Helper()
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		t.Fatalf("interface changed: %s vs %s", a.Stats(), b.Stats())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]uint64, a.NumPIs())
+	for round := 0; round < 8; round++ {
+		for i := range ins {
+			ins[i] = rng.Uint64()
+		}
+		oa := a.Simulate(ins)
+		ob := b.Simulate(ins)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("PO %d differs after optimisation", i)
+			}
+		}
+	}
+}
+
+func TestSweepRemovesDanglingLogic(t *testing.T) {
+	g := aig.New("dangling")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	used := g.And(a, b)
+	// Dangling cone.
+	d1 := g.And(a, b.Not())
+	g.And(d1, used)
+	g.AddPO("f", used)
+
+	s := Sweep(g)
+	if s.NumAnds() != 1 {
+		t.Fatalf("sweep kept %d ANDs, want 1", s.NumAnds())
+	}
+	equivalent(t, g, s, 1)
+}
+
+func TestSweepKeepsUnusedPIs(t *testing.T) {
+	g := aig.New("pis")
+	a := g.AddPI("a")
+	g.AddPI("unused")
+	g.AddPO("f", a)
+	s := Sweep(g)
+	if s.NumPIs() != 2 {
+		t.Fatalf("sweep dropped a PI")
+	}
+	equivalent(t, g, s, 2)
+}
+
+func TestBalanceReducesChainDepth(t *testing.T) {
+	// A linear AND chain of 16 inputs has depth 15; balanced it is 4.
+	g := aig.New("chain")
+	acc := g.AddPI("")
+	for i := 1; i < 16; i++ {
+		acc = g.And(acc, g.AddPI(""))
+	}
+	g.AddPO("f", acc)
+	if g.MaxLevel() != 15 {
+		t.Fatalf("setup: depth = %d", g.MaxLevel())
+	}
+	b := Balance(g)
+	if b.MaxLevel() != 4 {
+		t.Fatalf("balanced depth = %d, want 4", b.MaxLevel())
+	}
+	equivalent(t, g, b, 3)
+}
+
+func TestBalancePreservesFunctionality(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomAIG(seed, 8, 120)
+		b := Balance(g)
+		equivalent(t, g, b, seed+100)
+		s := Optimize(g)
+		equivalent(t, g, s, seed+200)
+	}
+}
+
+func TestBalanceOnRealCircuits(t *testing.T) {
+	for _, g := range []*aig.AIG{
+		circuits.TrainRC16(),
+		circuits.CarryLookaheadAdder(16),
+		circuits.ArrayMultiplier(6),
+		circuits.ALUCompare(12),
+		circuits.BarrelShifter(16),
+	} {
+		b := Optimize(g)
+		equivalent(t, g, b, 7)
+		if b.MaxLevel() > g.MaxLevel() {
+			t.Errorf("%s: balancing increased depth %d -> %d", g.Name, g.MaxLevel(), b.MaxLevel())
+		}
+	}
+}
+
+func TestBalanceHandlesComplementedPOs(t *testing.T) {
+	g := aig.New("cpo")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	x := g.And(g.And(a, b), c)
+	g.AddPO("f", x.Not())
+	g.AddPO("g", x)
+	g.AddPO("const", aig.ConstTrue)
+	out := Balance(g)
+	equivalent(t, g, out, 11)
+}
+
+func TestOptimizeIdempotentDepth(t *testing.T) {
+	g := circuits.CarryLookaheadAdder(16)
+	once := Optimize(g)
+	twice := Optimize(once)
+	if twice.MaxLevel() > once.MaxLevel() {
+		t.Fatalf("second optimisation increased depth")
+	}
+	equivalent(t, once, twice, 13)
+}
+
+func randomAIG(seed int64, nPIs, nAnds int) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	g := aig.New("rand")
+	lits := make([]aig.Lit, 0, nPIs+nAnds)
+	for i := 0; i < nPIs; i++ {
+		lits = append(lits, g.AddPI(""))
+	}
+	for i := 0; i < nAnds; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < 3; i++ {
+		g.AddPO("", lits[len(lits)-1-i].NotIf(rng.Intn(2) == 1))
+	}
+	return g
+}

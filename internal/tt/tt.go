@@ -1,0 +1,314 @@
+// Package tt implements truth tables over up to five variables, together
+// with the permutation/negation algebra and NPN canonicalisation needed for
+// Boolean matching during technology mapping.
+//
+// A truth table is stored as a 32-bit word: bit m holds the function value
+// for the input minterm m, where bit i of m is the value of variable i.
+// Functions of fewer than five variables are stored in their natural
+// "replicated" form (the word is independent of the unused variables), so a
+// two-input AND and its five-variable extension share the same word.
+package tt
+
+import "math/bits"
+
+// MaxVars is the largest supported cut/gate input count.
+const MaxVars = 5
+
+// NumMinterms is the number of rows of a five-variable truth table.
+const NumMinterms = 1 << MaxVars
+
+// TT is a truth table over up to five variables.
+type TT uint32
+
+// Const0 and Const1 are the two constant functions.
+const (
+	Const0 TT = 0
+	Const1 TT = 0xFFFFFFFF
+)
+
+// varMasks[i] has bit m set iff bit i of minterm m is set.
+var varMasks = [MaxVars]TT{
+	0xAAAAAAAA,
+	0xCCCCCCCC,
+	0xF0F0F0F0,
+	0xFF00FF00,
+	0xFFFF0000,
+}
+
+// Var returns the projection function of variable i.
+func Var(i int) TT {
+	return varMasks[i]
+}
+
+// Not returns the complement of t.
+func (t TT) Not() TT { return ^t }
+
+// And returns the conjunction of t and u.
+func (t TT) And(u TT) TT { return t & u }
+
+// Or returns the disjunction of t and u.
+func (t TT) Or(u TT) TT { return t | u }
+
+// Xor returns the exclusive-or of t and u.
+func (t TT) Xor(u TT) TT { return t ^ u }
+
+// Eval returns the value of t on minterm m.
+func (t TT) Eval(m int) bool { return t>>(uint(m)&31)&1 == 1 }
+
+// Ones returns the number of satisfying minterms of t.
+func (t TT) Ones() int { return bits.OnesCount32(uint32(t)) }
+
+// DependsOn reports whether t depends on variable i, that is, whether the
+// positive and negative cofactors with respect to i differ.
+func (t TT) DependsOn(i int) bool {
+	m := varMasks[i]
+	shift := uint(1) << uint(i)
+	pos := t & m
+	neg := (t &^ m) << shift & TT(m)
+	return pos != neg
+}
+
+// Support returns a bitmask of the variables t depends on.
+func (t TT) Support() uint8 {
+	var s uint8
+	for i := 0; i < MaxVars; i++ {
+		if t.DependsOn(i) {
+			s |= 1 << uint(i)
+		}
+	}
+	return s
+}
+
+// SupportSize returns the number of variables t depends on.
+func (t TT) SupportSize() int {
+	return bits.OnesCount8(t.Support())
+}
+
+// FlipVar returns t with variable i complemented.
+func (t TT) FlipVar(i int) TT {
+	m := varMasks[i]
+	shift := uint(1) << uint(i)
+	return (t&m)>>shift | (t&^m)<<shift
+}
+
+// Cofactor returns the cofactor of t with respect to variable i set to v.
+// The result is independent of variable i.
+func (t TT) Cofactor(i int, v bool) TT {
+	m := varMasks[i]
+	shift := uint(1) << uint(i)
+	if v {
+		hi := t & m
+		return hi | hi>>shift
+	}
+	lo := t &^ m
+	return lo | lo<<shift
+}
+
+// Permute returns the truth table obtained by renaming variables according
+// to perm: variable i of t becomes variable perm[i] of the result. perm must
+// be a permutation of 0..4.
+func (t TT) Permute(perm [MaxVars]uint8) TT {
+	var r TT
+	for m := 0; m < NumMinterms; m++ {
+		if t>>uint(m)&1 == 0 {
+			continue
+		}
+		var mm int
+		for i := 0; i < MaxVars; i++ {
+			if m>>uint(i)&1 == 1 {
+				mm |= 1 << uint(perm[i])
+			}
+		}
+		r |= 1 << uint(mm)
+	}
+	return r
+}
+
+// Transform is an NPN transform: an input permutation, an input negation
+// mask and an output negation flag.
+//
+// Apply(f, T) is the function g with g(x0..x4) = f(y0..y4) ^ out, where
+// input i of f is driven by y_i = x_{Perm[i]} ^ bit(Phase, i). In circuit
+// terms: pin i of f connects to variable Perm[i] of g, inverted when bit i
+// of Phase is set, and the output is inverted when Out is true.
+type Transform struct {
+	Perm  [MaxVars]uint8
+	Phase uint8
+	Out   bool
+}
+
+// Identity is the neutral transform.
+var Identity = Transform{Perm: [MaxVars]uint8{0, 1, 2, 3, 4}}
+
+// Apply applies the transform to f as described on Transform.
+func Apply(f TT, t Transform) TT {
+	var r TT
+	for m := 0; m < NumMinterms; m++ {
+		// Build the minterm seen by f when the result's inputs are m.
+		var fm int
+		for i := 0; i < MaxVars; i++ {
+			v := m >> uint(t.Perm[i]) & 1
+			v ^= int(t.Phase >> uint(i) & 1)
+			fm |= v << uint(i)
+		}
+		v := int(f >> uint(fm) & 1)
+		if t.Out {
+			v ^= 1
+		}
+		r |= TT(v) << uint(m)
+	}
+	return r
+}
+
+// Compose returns the transform equivalent to applying a first and then b:
+// Apply(Apply(f, a), b) == Apply(f, Compose(a, b)).
+func Compose(a, b Transform) Transform {
+	var c Transform
+	for i := 0; i < MaxVars; i++ {
+		// Input i of f reads variable a.Perm[i] of g=Apply(f,a); that
+		// variable of g reads variable b.Perm[a.Perm[i]] of the result.
+		c.Perm[i] = b.Perm[a.Perm[i]]
+		ph := a.Phase>>uint(i)&1 ^ b.Phase>>uint(a.Perm[i])&1
+		c.Phase |= ph << uint(i)
+	}
+	c.Out = a.Out != b.Out
+	return c
+}
+
+// Invert returns the transform that undoes t:
+// Apply(Apply(f, t), Invert(t)) == f.
+func Invert(t Transform) Transform {
+	var inv Transform
+	for i := 0; i < MaxVars; i++ {
+		inv.Perm[t.Perm[i]] = uint8(i)
+	}
+	for i := 0; i < MaxVars; i++ {
+		ph := t.Phase >> uint(inv.Perm[i]) & 1
+		inv.Phase |= ph << uint(i)
+	}
+	inv.Out = t.Out
+	return inv
+}
+
+// perms5 holds all 120 permutations of five elements.
+var perms5 = genPerms()
+
+func genPerms() [][MaxVars]uint8 {
+	var out [][MaxVars]uint8
+	var rec func(cur []uint8, used uint8)
+	rec = func(cur []uint8, used uint8) {
+		if len(cur) == MaxVars {
+			var p [MaxVars]uint8
+			copy(p[:], cur)
+			out = append(out, p)
+			return
+		}
+		for v := uint8(0); v < MaxVars; v++ {
+			if used&(1<<v) == 0 {
+				rec(append(cur, v), used|1<<v)
+			}
+		}
+	}
+	rec(make([]uint8, 0, MaxVars), 0)
+	return out
+}
+
+// Canon holds the NPN-canonical form of a function together with the
+// transform that produced it: Canon.F == Apply(f, Canon.T).
+type Canon struct {
+	F TT
+	T Transform
+}
+
+// permTables[p][m] is the source minterm of f that lands at result minterm m
+// when permutation perms5[p] is applied with zero phase.
+var permTables = genPermTables()
+
+func genPermTables() [][NumMinterms]uint8 {
+	tables := make([][NumMinterms]uint8, len(perms5))
+	for pi, p := range perms5 {
+		for m := 0; m < NumMinterms; m++ {
+			var fm int
+			for i := 0; i < MaxVars; i++ {
+				fm |= (m >> uint(p[i]) & 1) << uint(i)
+			}
+			tables[pi][m] = uint8(fm)
+		}
+	}
+	return tables
+}
+
+func applyPermTable(f TT, tbl *[NumMinterms]uint8) TT {
+	var r TT
+	for m := 0; m < NumMinterms; m++ {
+		r |= (f >> uint(tbl[m]) & 1) << uint(m)
+	}
+	return r
+}
+
+// Canonicalize computes the NPN-canonical representative of f by exhaustive
+// search over all input permutations, input negations and output negations,
+// choosing the numerically smallest truth table. The returned transform t
+// satisfies Apply(f, t) == canonical word.
+//
+// The search walks phases in Gray-code order so each step costs one
+// variable flip instead of a full transform application.
+func Canonicalize(f TT) Canon {
+	best := Canon{F: Const1, T: Identity}
+	first := true
+	consider := func(g TT, p [MaxVars]uint8, phase uint8, out bool) {
+		if first || g < best.F {
+			best = Canon{F: g, T: Transform{Perm: p, Phase: phase, Out: out}}
+			first = false
+		}
+	}
+	for pi, p := range perms5 {
+		g := applyPermTable(f, &permTables[pi])
+		phase := uint8(0)
+		for i := 0; ; i++ {
+			consider(g, p, phase, false)
+			consider(g.Not(), p, phase, true)
+			if i == NumMinterms-1 {
+				break
+			}
+			// Gray-code step: flip the variable whose bit changes between
+			// gray(i) and gray(i+1).
+			gray := uint8(i ^ (i >> 1))
+			nextGray := uint8((i + 1) ^ ((i + 1) >> 1))
+			bit := gray ^ nextGray
+			v := 0
+			for bit>>1 != 0 {
+				bit >>= 1
+				v++
+			}
+			// Phase bit v is a negation on PIN v; on the permuted function
+			// that corresponds to flipping variable p[v].
+			g = g.FlipVar(int(p[v]))
+			phase = nextGray
+		}
+	}
+	return best
+}
+
+// Canonicalizer memoises Canonicalize. It is not safe for concurrent use.
+type Canonicalizer struct {
+	cache map[TT]Canon
+}
+
+// NewCanonicalizer returns an empty memoising canonicaliser.
+func NewCanonicalizer() *Canonicalizer {
+	return &Canonicalizer{cache: make(map[TT]Canon)}
+}
+
+// Canon returns the memoised NPN-canonical form of f.
+func (c *Canonicalizer) Canon(f TT) Canon {
+	if r, ok := c.cache[f]; ok {
+		return r
+	}
+	r := Canonicalize(f)
+	c.cache[f] = r
+	return r
+}
+
+// Size returns the number of distinct functions canonicalised so far.
+func (c *Canonicalizer) Size() int { return len(c.cache) }

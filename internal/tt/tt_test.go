@@ -1,0 +1,243 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarProjection(t *testing.T) {
+	for i := 0; i < MaxVars; i++ {
+		v := Var(i)
+		for m := 0; m < NumMinterms; m++ {
+			want := m>>uint(i)&1 == 1
+			if v.Eval(m) != want {
+				t.Fatalf("Var(%d).Eval(%d) = %v, want %v", i, m, v.Eval(m), want)
+			}
+		}
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a, b := Var(0), Var(1)
+	and := a.And(b)
+	or := a.Or(b)
+	xor := a.Xor(b)
+	for m := 0; m < NumMinterms; m++ {
+		x, y := a.Eval(m), b.Eval(m)
+		if and.Eval(m) != (x && y) {
+			t.Errorf("AND wrong at minterm %d", m)
+		}
+		if or.Eval(m) != (x || y) {
+			t.Errorf("OR wrong at minterm %d", m)
+		}
+		if xor.Eval(m) != (x != y) {
+			t.Errorf("XOR wrong at minterm %d", m)
+		}
+	}
+	if Const0.Not() != Const1 {
+		t.Errorf("NOT of Const0 should be Const1")
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	f := Var(0).And(Var(2))
+	wants := [MaxVars]bool{true, false, true, false, false}
+	for i, want := range wants {
+		if f.DependsOn(i) != want {
+			t.Errorf("DependsOn(%d) = %v, want %v", i, f.DependsOn(i), want)
+		}
+	}
+	if Const1.Support() != 0 {
+		t.Errorf("constant function should have empty support")
+	}
+	if got := f.Support(); got != 0b00101 {
+		t.Errorf("Support = %05b, want 00101", got)
+	}
+	if f.SupportSize() != 2 {
+		t.Errorf("SupportSize = %d, want 2", f.SupportSize())
+	}
+}
+
+func TestFlipVar(t *testing.T) {
+	f := Var(1)
+	if f.FlipVar(1) != f.Not() {
+		t.Errorf("flipping the only support variable of a projection should complement it")
+	}
+	if f.FlipVar(0) != f {
+		t.Errorf("flipping a non-support variable should not change the function")
+	}
+	err := quick.Check(func(w uint32, i8 uint8) bool {
+		f := TT(w)
+		i := int(i8) % MaxVars
+		return f.FlipVar(i).FlipVar(i) == f
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCofactor(t *testing.T) {
+	err := quick.Check(func(w uint32, i8 uint8) bool {
+		f := TT(w)
+		i := int(i8) % MaxVars
+		pos := f.Cofactor(i, true)
+		neg := f.Cofactor(i, false)
+		if pos.DependsOn(i) || neg.DependsOn(i) {
+			return false
+		}
+		// Shannon expansion must rebuild f.
+		rebuilt := Var(i).And(pos).Or(Var(i).Not().And(neg))
+		return rebuilt == f
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	err := quick.Check(func(w uint32, pidx uint16) bool {
+		f := TT(w)
+		p := perms5[int(pidx)%len(perms5)]
+		var inv [MaxVars]uint8
+		for i, v := range p {
+			inv[v] = uint8(i)
+		}
+		return f.Permute(p).Permute(inv) == f
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyIdentity(t *testing.T) {
+	err := quick.Check(func(w uint32) bool {
+		f := TT(w)
+		return Apply(f, Identity) == f
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	// f = x0 AND x1. Transform connecting pin 0 to variable 3 and pin 1 to
+	// variable 2 with pin 1 inverted: g(x) = x3 AND NOT x2.
+	f := Var(0).And(Var(1))
+	tr := Transform{Perm: [MaxVars]uint8{3, 2, 0, 1, 4}, Phase: 0b00010}
+	g := Apply(f, tr)
+	want := Var(3).And(Var(2).Not())
+	if g != want {
+		t.Fatalf("Apply semantics wrong: got %08x want %08x", g, want)
+	}
+}
+
+func TestComposeMatchesSequentialApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		f := TT(rng.Uint32())
+		a := randTransform(rng)
+		b := randTransform(rng)
+		seq := Apply(Apply(f, a), b)
+		one := Apply(f, Compose(a, b))
+		if seq != one {
+			t.Fatalf("Compose mismatch: f=%08x a=%+v b=%+v", f, a, b)
+		}
+	}
+}
+
+func TestInvertUndoesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 2000; iter++ {
+		f := TT(rng.Uint32())
+		tr := randTransform(rng)
+		if Apply(Apply(f, tr), Invert(tr)) != f {
+			t.Fatalf("Invert failed for f=%08x t=%+v", f, tr)
+		}
+	}
+}
+
+func randTransform(rng *rand.Rand) Transform {
+	return Transform{
+		Perm:  perms5[rng.Intn(len(perms5))],
+		Phase: uint8(rng.Intn(1 << MaxVars)),
+		Out:   rng.Intn(2) == 1,
+	}
+}
+
+func TestCanonicalizeInvariance(t *testing.T) {
+	// NPN-equivalent functions must share a canonical word, and the stored
+	// transform must reproduce it.
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 50; iter++ {
+		f := TT(rng.Uint32())
+		cf := Canonicalize(f)
+		if Apply(f, cf.T) != cf.F {
+			t.Fatalf("canonical transform does not reproduce canonical word for %08x", f)
+		}
+		g := Apply(f, randTransform(rng))
+		cg := Canonicalize(g)
+		if cf.F != cg.F {
+			t.Fatalf("NPN-equivalent functions canonicalise differently: %08x vs %08x", cf.F, cg.F)
+		}
+	}
+}
+
+func TestCanonicalizeKnownClasses(t *testing.T) {
+	// AND2 and NOR2 are in the same NPN class; XOR2 is in a different one.
+	and2 := Var(0).And(Var(1))
+	nor2 := Var(0).Or(Var(1)).Not()
+	xor2 := Var(0).Xor(Var(1))
+	if Canonicalize(and2).F != Canonicalize(nor2).F {
+		t.Errorf("AND2 and NOR2 must share an NPN class")
+	}
+	if Canonicalize(and2).F == Canonicalize(xor2).F {
+		t.Errorf("AND2 and XOR2 must not share an NPN class")
+	}
+}
+
+func TestCanonicalizerMemo(t *testing.T) {
+	c := NewCanonicalizer()
+	f := Var(0).And(Var(1)).Or(Var(2))
+	r1 := c.Canon(f)
+	r2 := c.Canon(f)
+	if r1 != r2 {
+		t.Errorf("memoised results differ")
+	}
+	if c.Size() != 1 {
+		t.Errorf("cache size = %d, want 1", c.Size())
+	}
+	if r1 != Canonicalize(f) {
+		t.Errorf("memoised result differs from direct computation")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	if Const0.Ones() != 0 || Const1.Ones() != 32 {
+		t.Errorf("Ones of constants wrong")
+	}
+	if Var(4).Ones() != 16 {
+		t.Errorf("projection must have 16 ones, got %d", Var(4).Ones())
+	}
+}
+
+func BenchmarkCanonicalize(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	fs := make([]TT, 64)
+	for i := range fs {
+		fs[i] = TT(rng.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Canonicalize(fs[i%len(fs)])
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	f := Var(0).And(Var(1)).Xor(Var(2))
+	tr := Transform{Perm: [MaxVars]uint8{4, 3, 2, 1, 0}, Phase: 0b10101, Out: true}
+	for i := 0; i < b.N; i++ {
+		f = Apply(f, tr)
+	}
+	_ = f
+}
