@@ -175,6 +175,32 @@ func BenchmarkSLAPInference(b *testing.B) {
 	}
 }
 
+// BenchmarkCutEnumeration measures the mapper's first stage — priority-cuts
+// enumeration — sequentially (workers1) and under the level-wavefront worker
+// pool (workersAll). The two variants produce identical cut sets; the speedup
+// between them is the headline number of the concurrency architecture.
+func BenchmarkCutEnumeration(b *testing.B) {
+	g := circuits.ArrayMultiplier(12)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers1", 1},
+		{"workersAll", 0},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := &cuts.Enumerator{G: g, Policy: cuts.DefaultPolicy{}, Workers: tc.workers}
+				if res := e.Run(); res.TotalCuts == 0 {
+					b.Fatal("enumeration produced no cuts")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEndSLAPMap measures the complete SLAP mapping flow on a
 // mid-size multiplier.
 func BenchmarkEndToEndSLAPMap(b *testing.B) {

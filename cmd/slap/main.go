@@ -40,6 +40,7 @@ func main() {
 		libPath     = flag.String("lib", "", "genlib-like library file (default: built-in asap7ish)")
 		seed        = flag.Int64("seed", 1, "seed for the shuffle policy")
 		limit       = flag.Int("limit", 0, "per-node cut budget for default/shuffle policies (0 = 250)")
+		workers     = flag.Int("workers", 0, "cut-enumeration/inference workers (0 = all CPU cores, 1 = sequential)")
 		verify      = flag.Bool("verify", true, "check mapped netlist equivalence against the AIG")
 		listNames   = flag.Bool("list", false, "list built-in circuit names and exit")
 		showCells   = flag.Bool("cells", false, "print the cell-type histogram")
@@ -52,7 +53,7 @@ func main() {
 	if err := run(runConfig{
 		circuit: *circuitName, aag: *aagPath, profile: *profileName,
 		policy: *policyName, model: *modelPath, lib: *libPath,
-		seed: *seed, limit: *limit, verify: *verify, list: *listNames,
+		seed: *seed, limit: *limit, workers: *workers, verify: *verify, list: *listNames,
 		cells: *showCells, verilog: *verilogOut, blif: *blifOut, report: *report,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "slap:", err)
@@ -64,7 +65,7 @@ func main() {
 type runConfig struct {
 	circuit, aag, profile, policy, model, lib string
 	seed                                      int64
-	limit                                     int
+	limit, workers                            int
 	verify, list, cells, report               bool
 	verilog, blif                             string
 }
@@ -98,14 +99,14 @@ func run(cfg runConfig) error {
 	var res *mapper.Result
 	switch policyName {
 	case "default":
-		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.DefaultPolicy{Limit: limit}})
+		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.DefaultPolicy{Limit: limit}, Workers: cfg.workers})
 	case "unlimited":
-		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.UnlimitedPolicy{}})
+		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.UnlimitedPolicy{}, Workers: cfg.workers})
 	case "shuffle":
 		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: &cuts.ShufflePolicy{
 			Rng:   rand.New(rand.NewSource(seed)),
 			Limit: limit,
-		}})
+		}, Workers: cfg.workers})
 	case "slap":
 		if modelPath == "" {
 			return fmt.Errorf("-policy slap requires -model (train one with slap-train)")
@@ -115,7 +116,9 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		res, err = core.New(model, lib).Map(g)
+		s := core.New(model, lib)
+		s.Workers = cfg.workers
+		res, err = s.Map(g)
 	default:
 		return fmt.Errorf("unknown policy %q", policyName)
 	}

@@ -2,6 +2,7 @@ package circuits
 
 import (
 	"fmt"
+	"math/rand"
 
 	"slap/internal/aig"
 )
@@ -306,4 +307,38 @@ func RiscVCore() *aig.AIG {
 	b.Output("mem_addr", memAddr)
 	b.G.AddPO("take_branch", takeBr)
 	return b.G
+}
+
+// RandomAIG builds a seeded pseudo-random DAG with `pis` inputs and up to
+// `ands` AND nodes: each new node conjoins two uniformly chosen existing
+// literals with random polarities. Every sink node becomes a PO so the whole
+// graph stays observable. Used by property tests that need structurally
+// diverse graphs beyond the arithmetic generators.
+func RandomAIG(seed int64, pis, ands int) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	g := aig.New(fmt.Sprintf("rand%d", seed))
+	lits := make([]aig.Lit, 0, pis+ands)
+	for i := 0; i < pis; i++ {
+		lits = append(lits, g.AddPI(fmt.Sprintf("x%d", i)))
+	}
+	// Structural hashing may fold some attempts, so bound the loop by
+	// attempts rather than spinning until the exact node count is reached.
+	for tries := 0; tries < 16*ands && g.NumAnds() < ands; tries++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		o := g.And(a, b)
+		if o.Node() != a.Node() && o.Node() != b.Node() {
+			lits = append(lits, o)
+		}
+	}
+	var sinks []uint32
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if g.IsAnd(n) && g.Fanout(n) == 0 {
+			sinks = append(sinks, n)
+		}
+	}
+	for i, n := range sinks {
+		g.AddPO(fmt.Sprintf("y%d", i), aig.MakeLit(n, false))
+	}
+	return g
 }

@@ -51,7 +51,9 @@ type SLAP struct {
 	GoodMax, AvgMax int
 	// MergeCap bounds the exhaustive pre-filter enumeration (0 = default).
 	MergeCap int
-	// Workers bounds inference parallelism (0 = GOMAXPROCS).
+	// Workers bounds parallelism for both cut enumeration (the level
+	// wavefront of cuts.Enumerator) and inference (0 = GOMAXPROCS,
+	// 1 = fully sequential).
 	Workers int
 	// UseExpectedClass scores cuts by the probability-weighted expected
 	// class instead of the paper's hard argmax. An evaluated-but-off-by-
@@ -210,7 +212,7 @@ func Train(opt TrainOptions) (*SLAP, *TrainReport, error) {
 // what read_cuts feeds to the mapper; TotalCuts is the SLAP "Cuts Used"
 // metric.
 func (s *SLAP) FilterCuts(g *aig.AIG) *cuts.Result {
-	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap}
+	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap, Workers: s.Workers}
 	res := enum.Run()
 	emb := embed.NewEmbedder(g)
 	emb.PrecomputeAll()

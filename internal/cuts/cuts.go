@@ -4,12 +4,22 @@
 // fanin lists. The cut sorting/filtering policy is therefore the lever that
 // shapes the whole mapping search space — exactly the lever SLAP replaces
 // with a learned model.
+//
+// Enumeration runs as a topological level wavefront: a node's cut set
+// depends only on its fanins, which sit at strictly lower levels, so all
+// nodes of one level can be merged concurrently once the previous levels are
+// done. Each worker owns private scratch state (epoch-stamped visited/value
+// arrays, the dedupe hash table, a leaf arena), so the hot path takes no
+// locks and performs no steady-state allocations. See DESIGN.md
+// §"Concurrency architecture".
 package cuts
 
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
 
 	"slap/internal/aig"
 	"slap/internal/tt"
@@ -47,6 +57,31 @@ func leafSig(leaves []uint32) uint64 {
 	return s
 }
 
+// hashLeaves mixes a sorted leaf list into a 64-bit dedupe key. Unlike the
+// Bloom Sig it is a proper hash: distinct leaf sets collide only by chance,
+// so the merge dedupe needs a full leaf comparison only on hash collision.
+func hashLeaves(leaves []uint32) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) ^ uint64(len(leaves))
+	for _, l := range leaves {
+		h ^= uint64(l)
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 29
+	}
+	return h
+}
+
+func leavesEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // subsetOf reports whether a's leaves are a subset of b's.
 func subsetOf(a, b *Cut) bool {
 	if len(a.Leaves) > len(b.Leaves) || a.Sig&^b.Sig != 0 {
@@ -67,9 +102,10 @@ func subsetOf(a, b *Cut) bool {
 	return i == len(a.Leaves)
 }
 
-// mergeLeaves unions two sorted leaf lists, failing when the union exceeds K.
-func mergeLeaves(a, b []uint32) ([]uint32, bool) {
-	out := make([]uint32, 0, K)
+// mergeLeavesInto unions two sorted leaf lists into buf, failing when the
+// union exceeds K. It returns the union length.
+func mergeLeavesInto(buf *[K]uint32, a, b []uint32) (int, bool) {
+	n := 0
 	i, j := 0, 0
 	for i < len(a) || j < len(b) {
 		var v uint32
@@ -91,12 +127,13 @@ func mergeLeaves(a, b []uint32) ([]uint32, bool) {
 			v = b[j]
 			j++
 		}
-		if len(out) == K {
-			return nil, false
+		if n == K {
+			return 0, false
 		}
-		out = append(out, v)
+		buf[n] = v
+		n++
 	}
-	return out, true
+	return n, true
 }
 
 // expandTT re-expresses a cut function given over the variable ordering
@@ -134,6 +171,24 @@ type Policy interface {
 	Name() string
 }
 
+// ParallelSafe is an optional Policy extension: a policy whose Process is a
+// pure function of (g, n, cs) — no mutable state shared across calls —
+// returns true to opt into concurrent Process calls during wavefront
+// enumeration. Stateful policies (e.g. ShufflePolicy, whose RNG sequence
+// depends on node visit order) simply do not implement it and the enumerator
+// falls back to the sequential path automatically.
+type ParallelSafe interface{ ParallelSafe() bool }
+
+// PolicyParallelSafe reports whether p may be invoked concurrently. The nil
+// (exhaustive) policy is safe by definition.
+func PolicyParallelSafe(p Policy) bool {
+	if p == nil {
+		return true
+	}
+	ps, ok := p.(ParallelSafe)
+	return ok && ps.ParallelSafe()
+}
+
 // Result holds the outcome of cut enumeration.
 type Result struct {
 	// Sets[n] is the cut list of node n (nil for PIs/constant except for
@@ -155,18 +210,48 @@ type Enumerator struct {
 	// keep exhaustive enumeration tractable on large designs. Zero means
 	// DefaultMergeCap.
 	MergeCap int
+	// Workers bounds level-wavefront parallelism: 0 means one worker per
+	// CPU core, 1 forces the sequential path, N > 1 uses N workers. The
+	// parallel and sequential paths produce identical Results; parallel
+	// runs additionally require a parallel-safe policy (see ParallelSafe)
+	// and degrade to sequential otherwise.
+	Workers int
 
-	// DFS scratch state for cone evaluation (epoch-stamped visited set,
-	// reused across cuts to avoid per-cut allocation).
-	visited []uint32
-	val     []tt.TT
-	epoch   uint32
+	// s is the sequential/owner scratch, shared with worker 0.
+	s *scratch
 }
 
 // DefaultMergeCap bounds per-node cut lists during enumeration.
 const DefaultMergeCap = 2000
 
-// Run enumerates cuts for all nodes in topological order.
+// minParallelAnds gates the wavefront path: below this graph size the
+// per-level barriers cost more than the merges they spread.
+const minParallelAnds = 128
+
+func (e *Enumerator) scratch() *scratch {
+	if e.s == nil {
+		e.s = newScratch(e.G)
+	}
+	return e.s
+}
+
+// effectiveWorkers resolves the Workers knob against the policy and graph.
+func (e *Enumerator) effectiveWorkers() int {
+	w := e.Workers
+	if w == 0 {
+		w = runtime.NumCPU()
+	}
+	if w <= 1 || !PolicyParallelSafe(e.Policy) || e.G.NumAnds() < minParallelAnds {
+		return 1
+	}
+	return w
+}
+
+// Run enumerates cuts for all nodes. The sequential path visits nodes in
+// topological index order; the parallel path sweeps a level wavefront. Both
+// produce identical cut sets: a node's merge depends only on its fanin
+// lists, which are complete before the node is visited on either path, and
+// the per-node merge/policy pipeline is deterministic.
 func (e *Enumerator) Run() *Result {
 	g := e.G
 	capN := e.MergeCap
@@ -174,21 +259,10 @@ func (e *Enumerator) Run() *Result {
 		capN = DefaultMergeCap
 	}
 	res := &Result{Sets: make([][]Cut, g.NumNodes())}
-	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
-		if g.IsPI(n) {
-			res.Sets[n] = []Cut{trivialCut(n)}
-			continue
-		}
-		if !g.IsAnd(n) {
-			continue
-		}
-		f0, f1 := g.Fanins(n)
-		cs := e.mergeNode(n, f0, f1, res.Sets[f0.Node()], res.Sets[f1.Node()], capN)
-		if e.Policy != nil {
-			cs = e.Policy.Process(g, n, cs)
-		}
-		cs = ensureTrivial(n, cs)
-		res.Sets[n] = cs
+	if workers := e.effectiveWorkers(); workers > 1 {
+		e.runWavefront(res, capN, workers)
+	} else {
+		e.runSequential(res, capN)
 	}
 	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
 		if g.IsAnd(n) {
@@ -196,6 +270,96 @@ func (e *Enumerator) Run() *Result {
 		}
 	}
 	return res
+}
+
+func (e *Enumerator) runSequential(res *Result, capN int) {
+	g := e.G
+	s := e.scratch()
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if g.IsPI(n) {
+			res.Sets[n] = []Cut{trivialCut(n)}
+			continue
+		}
+		if g.IsAnd(n) {
+			e.processNode(s, res, n, capN)
+		}
+	}
+}
+
+// runWavefront processes the AND nodes level by level, fanning each level
+// out across the worker pool. Workers write disjoint res.Sets entries and
+// own all their scratch state, so the level barrier is the only
+// synchronisation.
+func (e *Enumerator) runWavefront(res *Result, capN, workers int) {
+	g := e.G
+	// Force the AIG's lazily-memoised caches (levels, fanouts, inverted
+	// fanout flags) before fanning out: policies read them through
+	// Cut.Features and the first computation must not be raced.
+	maxLevel := g.MaxLevel()
+	g.Fanout(0)
+	g.HasInvertedFanout(0)
+
+	buckets := make([][]uint32, maxLevel+1)
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		switch {
+		case g.IsPI(n):
+			res.Sets[n] = []Cut{trivialCut(n)}
+		case g.IsAnd(n):
+			l := g.Level(n)
+			buckets[l] = append(buckets[l], n)
+		}
+	}
+
+	scratches := make([]*scratch, workers)
+	scratches[0] = e.scratch()
+	for i := 1; i < workers; i++ {
+		scratches[i] = newScratch(g)
+	}
+
+	var wg sync.WaitGroup
+	for _, nodes := range buckets {
+		if len(nodes) == 0 {
+			continue
+		}
+		// Narrow levels run inline: a goroutine handoff per node costs more
+		// than the merge it would parallelise.
+		if len(nodes) < 2*workers {
+			for _, n := range nodes {
+				e.processNode(scratches[0], res, n, capN)
+			}
+			continue
+		}
+		chunk := (len(nodes) + workers - 1) / workers
+		for k := 0; k < workers; k++ {
+			lo := k * chunk
+			hi := lo + chunk
+			if hi > len(nodes) {
+				hi = len(nodes)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(s *scratch, ns []uint32) {
+				defer wg.Done()
+				for _, n := range ns {
+					e.processNode(s, res, n, capN)
+				}
+			}(scratches[k], nodes[lo:hi])
+		}
+		wg.Wait()
+	}
+}
+
+// processNode computes one AND node's final cut list.
+func (e *Enumerator) processNode(s *scratch, res *Result, n uint32, capN int) {
+	f0, f1 := e.G.Fanins(n)
+	cs := s.mergeNode(n, res.Sets[f0.Node()], res.Sets[f1.Node()], capN)
+	if e.Policy != nil {
+		cs = e.Policy.Process(e.G, n, cs)
+	}
+	cs = ensureTrivial(n, cs)
+	res.Sets[n] = cs
 }
 
 func trivialCut(n uint32) Cut {
@@ -216,42 +380,82 @@ func ensureTrivial(n uint32, cs []Cut) []Cut {
 	return append(cs, trivialCut(n))
 }
 
-// mergeNode computes the cut set of AND node n from its fanin cut sets.
-func (e *Enumerator) mergeNode(n uint32, f0, f1 aig.Lit, cs0, cs1 []Cut, capN int) []Cut {
-	seen := make(map[string]bool, len(cs0)*2)
-	var out []Cut
-	keyBuf := make([]byte, 0, K*4)
-	key := func(leaves []uint32) string {
-		keyBuf = keyBuf[:0]
-		for _, l := range leaves {
-			keyBuf = append(keyBuf, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
-		}
-		return string(keyBuf)
+// scratch is the per-worker mutable state of enumeration. Everything is
+// epoch-stamped or arena-chunked so the merge hot path allocates nothing in
+// steady state and no two workers ever share a scratch.
+type scratch struct {
+	g *aig.AIG
+
+	// Cone-evaluation state: visited is epoch-stamped so clearing between
+	// cuts is one counter increment.
+	visited []uint32
+	val     []tt.TT
+	epoch   uint32
+	vol     int32
+
+	// Dedupe table: open addressing, power-of-two sized, epoch-stamped so
+	// clearing between nodes is one counter increment. tabIdx points into
+	// the node's accumulating cut list.
+	tabEpoch []uint32
+	tabHash  []uint64
+	tabIdx   []int32
+	tabCur   uint32
+	tabCount int
+
+	// arena provides leaf-slice storage for accepted cuts in chunked
+	// bulk allocations.
+	arena []uint32
+}
+
+const arenaChunk = 4096
+
+func newScratch(g *aig.AIG) *scratch {
+	return &scratch{
+		g:       g,
+		visited: make([]uint32, g.NumNodes()),
+		val:     make([]tt.TT, g.NumNodes()),
 	}
+}
+
+// mergeNode computes the cut set of AND node n from its fanin cut sets. The
+// hot loop is allocation-free in steady state: leaf unions go into a stack
+// buffer, duplicates are rejected by the epoch-stamped hash table keyed on a
+// 64-bit leaf hash (full leaf comparison only on collision), accepted leaf
+// slices are carved from the arena, and cone evaluation reuses the
+// epoch-stamped visited/value arrays.
+func (s *scratch) mergeNode(n uint32, cs0, cs1 []Cut, capN int) []Cut {
+	// Pre-size from the fanin list lengths: the union count is close to the
+	// sum for typical priority-cut lists.
+	est := len(cs0) + len(cs1)
+	if est > capN {
+		est = capN
+	}
+	out := make([]Cut, 0, est+1)
+	s.resetTable(est)
+	var buf [K]uint32
 	for i := range cs0 {
 		for j := range cs1 {
 			u, v := &cs0[i], &cs1[j]
 			if bits.OnesCount64(u.Sig|v.Sig) > K {
 				continue // cannot be k-feasible
 			}
-			leaves, ok := mergeLeaves(u.Leaves, v.Leaves)
+			nl, ok := mergeLeavesInto(&buf, u.Leaves, v.Leaves)
 			if !ok {
 				continue
 			}
-			k := key(leaves)
-			if seen[k] {
+			leaves := buf[:nl]
+			if s.seen(leaves, out) {
 				continue
 			}
-			seen[k] = true
 			// The truth table is computed by symbolic cone evaluation rather
 			// than by composing the fanin cut functions: when a leaf of one
 			// fanin cut is the other fanin node itself, composition would
 			// wrongly substitute that leaf's own function for the free leaf
 			// variable. Cone evaluation also yields the volume in the same
 			// traversal.
-			f, vol := e.coneTT(n, leaves)
+			f, vol := s.coneTT(n, leaves)
 			out = append(out, Cut{
-				Leaves: leaves,
+				Leaves: s.internLeaves(leaves),
 				Sig:    leafSig(leaves),
 				TT:     f,
 				Volume: vol,
@@ -264,11 +468,97 @@ func (e *Enumerator) mergeNode(n uint32, f0, f1 aig.Lit, cs0, cs1 []Cut, capN in
 	return out
 }
 
+// resetTable prepares the dedupe table for a node expecting about `expect`
+// distinct cuts.
+func (s *scratch) resetTable(expect int) {
+	need := 4 * expect
+	if need < 64 {
+		need = 64
+	}
+	size := len(s.tabHash)
+	if size < need {
+		size = 64
+		for size < need {
+			size <<= 1
+		}
+		s.tabHash = make([]uint64, size)
+		s.tabIdx = make([]int32, size)
+		s.tabEpoch = make([]uint32, size)
+		s.tabCur = 0
+	}
+	s.tabCur++
+	if s.tabCur == 0 { // epoch counter wrapped: stale stamps become valid
+		for i := range s.tabEpoch {
+			s.tabEpoch[i] = 0
+		}
+		s.tabCur = 1
+	}
+	s.tabCount = 0
+}
+
+// seen reports whether leaves already occur in out; otherwise it records
+// them under the next out index and returns false.
+func (s *scratch) seen(leaves []uint32, out []Cut) bool {
+	if 2*(s.tabCount+1) > len(s.tabHash) {
+		s.growTable(out)
+	}
+	h := hashLeaves(leaves)
+	mask := uint64(len(s.tabHash) - 1)
+	slot := h & mask
+	for {
+		if s.tabEpoch[slot] != s.tabCur {
+			s.tabEpoch[slot] = s.tabCur
+			s.tabHash[slot] = h
+			s.tabIdx[slot] = int32(len(out))
+			s.tabCount++
+			return false
+		}
+		if s.tabHash[slot] == h && leavesEqual(out[s.tabIdx[slot]].Leaves, leaves) {
+			return true
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// growTable doubles the dedupe table and reinserts the node's accepted cuts
+// (the table entries correspond exactly to out's indices).
+func (s *scratch) growTable(out []Cut) {
+	size := 2 * len(s.tabHash)
+	s.tabHash = make([]uint64, size)
+	s.tabIdx = make([]int32, size)
+	s.tabEpoch = make([]uint32, size)
+	s.tabCur = 1
+	s.tabCount = len(out)
+	mask := uint64(size - 1)
+	for i := range out {
+		h := hashLeaves(out[i].Leaves)
+		slot := h & mask
+		for s.tabEpoch[slot] == s.tabCur {
+			slot = (slot + 1) & mask
+		}
+		s.tabEpoch[slot] = s.tabCur
+		s.tabHash[slot] = h
+		s.tabIdx[slot] = int32(i)
+	}
+}
+
+// internLeaves copies an accepted leaf union into the arena, so the merge
+// loop allocates one chunk per ~arenaChunk leaves instead of one slice per
+// cut.
+func (s *scratch) internLeaves(src []uint32) []uint32 {
+	if cap(s.arena)-len(s.arena) < len(src) {
+		s.arena = make([]uint32, 0, arenaChunk)
+	}
+	i := len(s.arena)
+	s.arena = append(s.arena, src...)
+	return s.arena[i:len(s.arena):len(s.arena)]
+}
+
 // MakeCut constructs a cut of root over the given sorted leaves, computing
 // its truth table and volume by cone evaluation. The leaf set must be a
 // valid cut of root (every PI-to-root path passes through a leaf).
 func (e *Enumerator) MakeCut(root uint32, leaves []uint32) Cut {
-	f, vol := e.coneTT(root, leaves)
+	f, vol := e.scratch().coneTT(root, leaves)
 	return Cut{
 		Leaves: append([]uint32(nil), leaves...),
 		Sig:    leafSig(leaves),
@@ -278,62 +568,84 @@ func (e *Enumerator) MakeCut(root uint32, leaves []uint32) Cut {
 }
 
 // coneTT symbolically evaluates the function of n over the cut leaves
-// (variable i = leaves[i]) and counts the AND nodes covered. The visited
-// array is epoch-stamped and reused across cuts to avoid allocation.
-func (e *Enumerator) coneTT(n uint32, leaves []uint32) (tt.TT, int32) {
-	if e.visited == nil {
-		e.visited = make([]uint32, e.G.NumNodes())
-		e.val = make([]tt.TT, e.G.NumNodes())
+// (variable i = leaves[i]) and counts the AND nodes covered.
+func (s *scratch) coneTT(n uint32, leaves []uint32) (tt.TT, int32) {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale visited stamps become valid
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
 	}
-	e.epoch++
-	var vol int32
-	var eval func(m uint32) tt.TT
-	eval = func(m uint32) tt.TT {
-		for i, l := range leaves {
-			if l == m {
-				return tt.Var(i)
-			}
+	s.vol = 0
+	return s.coneEval(n, leaves), s.vol
+}
+
+func (s *scratch) coneEval(m uint32, leaves []uint32) tt.TT {
+	for i, l := range leaves {
+		if l == m {
+			return tt.Var(i)
 		}
-		if e.visited[m] == e.epoch {
-			return e.val[m]
-		}
-		if !e.G.IsAnd(m) {
-			// Only reachable if the leaf set is not a cut; the enumerator
-			// never constructs such sets, so this is an internal error.
-			panic("cuts: cone evaluation escaped the cut leaves")
-		}
-		vol++
-		f0, f1 := e.G.Fanins(m)
-		v0 := eval(f0.Node())
-		if f0.IsCompl() {
-			v0 = v0.Not()
-		}
-		v1 := eval(f1.Node())
-		if f1.IsCompl() {
-			v1 = v1.Not()
-		}
-		v := v0.And(v1)
-		e.visited[m] = e.epoch
-		e.val[m] = v
-		return v
 	}
-	return eval(n), vol
+	if s.visited[m] == s.epoch {
+		return s.val[m]
+	}
+	if !s.g.IsAnd(m) {
+		// Only reachable if the leaf set is not a cut; the enumerator
+		// never constructs such sets, so this is an internal error.
+		panic("cuts: cone evaluation escaped the cut leaves")
+	}
+	s.vol++
+	f0, f1 := s.g.Fanins(m)
+	v0 := s.coneEval(f0.Node(), leaves)
+	if f0.IsCompl() {
+		v0 = v0.Not()
+	}
+	v1 := s.coneEval(f1.Node(), leaves)
+	if f1.IsCompl() {
+		v1 = v1.Not()
+	}
+	v := v0.And(v1)
+	s.visited[m] = s.epoch
+	s.val[m] = v
+	return v
 }
 
 // FilterDominated removes cuts whose leaf set is a superset of another
-// cut's leaf set (the dominated cuts), preserving order. The trivial cut of
-// root dominates nothing and is kept.
+// cut's leaf set (the dominated cuts), preserving order. Callers that know
+// the root should prefer FilterDominatedFor, which can skip the trivial-cut
+// row.
 func FilterDominated(cs []Cut) []Cut {
+	return filterDominated(^uint32(0), cs)
+}
+
+// FilterDominatedFor is FilterDominated with the root known: the trivial cut
+// {root} is skipped as a dominator (no enumerated cut of root contains root
+// as a leaf, so it can never dominate anything).
+func FilterDominatedFor(root uint32, cs []Cut) []Cut {
+	return filterDominated(root, cs)
+}
+
+func filterDominated(root uint32, cs []Cut) []Cut {
 	out := cs[:0]
 	for i := range cs {
+		ci := &cs[i]
 		dominated := false
 		for j := range cs {
 			if i == j {
 				continue
 			}
-			if subsetOf(&cs[j], &cs[i]) {
+			cj := &cs[j]
+			// Cheap rejections before the O(len) leaf walk: a longer list
+			// can never be a subset, and any leaf bit missing from ci's
+			// Bloom signature proves non-subset. The trivial cut dominates
+			// nothing.
+			if len(cj.Leaves) > len(ci.Leaves) || cj.Sig&^ci.Sig != 0 || cj.IsTrivial(root) {
+				continue
+			}
+			if subsetOf(cj, ci) {
 				// Equal leaf sets: keep the earlier one.
-				if len(cs[j].Leaves) == len(cs[i].Leaves) && j > i {
+				if len(cj.Leaves) == len(ci.Leaves) && j > i {
 					continue
 				}
 				dominated = true
@@ -396,13 +708,23 @@ var FeatureNames = [9]string{
 
 // SortByLeaves orders cuts by ascending leaf count, breaking ties by larger
 // volume (more logic absorbed) then lexicographic leaves — the vanilla ABC
-// ordering the paper describes.
+// ordering the paper describes. The full tie-break chain makes the ordering
+// (and therefore mapping results) independent of the input permutation.
 func SortByLeaves(cs []Cut) {
 	sort.SliceStable(cs, func(i, j int) bool {
-		if len(cs[i].Leaves) != len(cs[j].Leaves) {
-			return len(cs[i].Leaves) < len(cs[j].Leaves)
+		a, b := &cs[i], &cs[j]
+		if len(a.Leaves) != len(b.Leaves) {
+			return len(a.Leaves) < len(b.Leaves)
 		}
-		return cs[i].Volume > cs[j].Volume
+		if a.Volume != b.Volume {
+			return a.Volume > b.Volume
+		}
+		for k := range a.Leaves {
+			if a.Leaves[k] != b.Leaves[k] {
+				return a.Leaves[k] < b.Leaves[k]
+			}
+		}
+		return false
 	})
 }
 

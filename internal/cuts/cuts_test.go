@@ -372,3 +372,50 @@ func BenchmarkEnumerateUnlimited(b *testing.B) {
 		enumerate(g, UnlimitedPolicy{})
 	}
 }
+
+// benchMergeInputs builds realistic fanin cut lists for the merge benchmark:
+// the two fanins of the highest-level AND node of a multiplier, enumerated
+// under the default policy.
+func benchMergeInputs(b *testing.B) (*Enumerator, uint32, aig.Lit, aig.Lit, []Cut, []Cut) {
+	b.Helper()
+	g := circuits.BoothMultiplier(8)
+	e := &Enumerator{G: g, Policy: DefaultPolicy{}}
+	res := e.Run()
+	var best uint32
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if g.IsAnd(n) && g.Level(n) > g.Level(best) {
+			best = n
+		}
+	}
+	f0, f1 := g.Fanins(best)
+	return e, best, f0, f1, res.Sets[f0.Node()], res.Sets[f1.Node()]
+}
+
+// BenchmarkMergeNode isolates the per-node merge step (leaf union, dedupe,
+// cone evaluation) — the enumeration hot path.
+func BenchmarkMergeNode(b *testing.B) {
+	e, n, _, _, cs0, cs1 := benchMergeInputs(b)
+	s := e.scratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := s.mergeNode(n, cs0, cs1, DefaultMergeCap)
+		if len(out) == 0 {
+			b.Fatal("merge produced no cuts")
+		}
+	}
+}
+
+// BenchmarkCutEnumeration measures whole-graph enumeration under the default
+// policy (the mapper's first stage).
+func BenchmarkCutEnumeration(b *testing.B) {
+	g := circuits.BoothMultiplier(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Enumerator{G: g, Policy: DefaultPolicy{}}
+		if res := e.Run(); res.TotalCuts == 0 {
+			b.Fatal("no cuts")
+		}
+	}
+}

@@ -21,7 +21,7 @@ type DefaultPolicy struct {
 // Process sorts by leaf count, removes dominated cuts and truncates.
 func (p DefaultPolicy) Process(g *aig.AIG, n uint32, cs []Cut) []Cut {
 	SortByLeaves(cs)
-	cs = FilterDominated(cs)
+	cs = FilterDominatedFor(n, cs)
 	limit := p.Limit
 	if limit == 0 {
 		limit = DefaultCutLimit
@@ -35,6 +35,10 @@ func (p DefaultPolicy) Process(g *aig.AIG, n uint32, cs []Cut) []Cut {
 // Name implements Policy.
 func (p DefaultPolicy) Name() string { return "abc-default" }
 
+// ParallelSafe implements the ParallelSafe extension: Process is a pure
+// per-node function.
+func (p DefaultPolicy) ParallelSafe() bool { return true }
+
 // UnlimitedPolicy keeps every enumerated cut, modelling the paper's
 // "Unlimited ABC" which disables sorting, dominance filtering and the
 // per-node budget. Enumeration is still bounded by the Enumerator MergeCap
@@ -47,10 +51,17 @@ func (UnlimitedPolicy) Process(g *aig.AIG, n uint32, cs []Cut) []Cut { return cs
 // Name implements Policy.
 func (UnlimitedPolicy) Name() string { return "abc-unlimited" }
 
+// ParallelSafe implements the ParallelSafe extension.
+func (UnlimitedPolicy) ParallelSafe() bool { return true }
+
 // ShufflePolicy randomly permutes each node's cut list and keeps the first
 // Limit cuts without dominance filtering — the design-space exploration
 // strategy of paper §III used both for Fig. 1 and to generate training
 // mappings of diverse QoR.
+//
+// The policy is deliberately NOT ParallelSafe: its RNG sequence depends on
+// the node visit order, so the enumerator always runs it on the sequential
+// path, keeping shuffled mappings reproducible per seed.
 type ShufflePolicy struct {
 	Rng *rand.Rand
 	// Limit is the per-node cut budget; zero means DefaultCutLimit.
@@ -101,7 +112,7 @@ func (p SingleAttributePolicy) Process(g *aig.AIG, n uint32, cs []Cut) []Cut {
 		}
 		cs[j+1], keys[j+1] = c, k
 	}
-	cs = FilterDominated(cs)
+	cs = FilterDominatedFor(n, cs)
 	limit := p.Limit
 	if limit == 0 {
 		limit = DefaultCutLimit
@@ -111,6 +122,10 @@ func (p SingleAttributePolicy) Process(g *aig.AIG, n uint32, cs []Cut) []Cut {
 	}
 	return cs
 }
+
+// ParallelSafe implements the ParallelSafe extension: the sort key depends
+// only on precomputed graph attributes.
+func (p SingleAttributePolicy) ParallelSafe() bool { return true }
 
 // Name implements Policy.
 func (p SingleAttributePolicy) Name() string {

@@ -207,7 +207,10 @@ func runRandomMaps(g *aig.AIG, cfg Config, workers int, seed int64) ([]mapOutcom
 				Rng:   rand.New(rand.NewSource(seed + int64(i))),
 				Limit: cfg.ShuffleLimit,
 			}
-			res, err := mapper.Map(g, mapper.Options{Library: cfg.Library, Policy: policy})
+			// Workers: 1 — the mappings themselves already saturate the
+			// worker pool, and the shuffle policy's RNG sequence requires
+			// sequential enumeration anyway.
+			res, err := mapper.Map(g, mapper.Options{Library: cfg.Library, Policy: policy, Workers: 1})
 			if err != nil {
 				errs[i] = err
 				return

@@ -31,6 +31,9 @@ type Options struct {
 	CutSets *cuts.Result
 	// NoAreaRecovery disables the area-flow pass.
 	NoAreaRecovery bool
+	// Workers bounds cut-enumeration parallelism: 0 = one worker per CPU
+	// core, 1 = sequential (see cuts.Enumerator.Workers).
+	Workers int
 }
 
 // LUT is one lookup table of the mapped network.
@@ -69,7 +72,7 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		res = opt.CutSets
 		policyName = "precomputed"
 	} else {
-		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap}
+		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers}
 		res = e.Run()
 		if opt.Policy != nil {
 			policyName = opt.Policy.Name()

@@ -42,6 +42,10 @@ type Options struct {
 	// buffering step), and the mapper's load estimates are capped to match.
 	// Zero means DefaultMaxFanout; negative disables buffering.
 	MaxFanout int
+	// Workers bounds cut-enumeration parallelism: 0 = one worker per CPU
+	// core, 1 = sequential. Parallel and sequential enumeration produce
+	// identical cut sets (see cuts.Enumerator.Workers).
+	Workers int
 }
 
 // DefaultMaxFanout is the post-mapping fanout bound.
@@ -118,7 +122,7 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		res = opt.CutSets
 		policyName = "precomputed"
 	} else {
-		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap}
+		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers}
 		res = e.Run()
 		if opt.Policy != nil {
 			policyName = opt.Policy.Name()
