@@ -1,0 +1,129 @@
+// Command slap-serve runs the long-running SLAP mapping service: an HTTP
+// front end over the same flow as the slap CLI, with a model/library
+// registry loaded once at startup (hot-addable at runtime), a global
+// worker budget shared by all requests, and Prometheus/expvar metrics.
+//
+// Usage:
+//
+//	slap-serve -addr :8351
+//	slap-serve -model prod=model.gob -model exp=candidate.gob -lib my.lib
+//	curl --data-binary @design.aag 'localhost:8351/v1/map?policy=default'
+//	curl --data-binary @design.aag 'localhost:8351/v1/map?policy=slap&model=prod'
+//	curl localhost:8351/healthz ; curl localhost:8351/metrics
+//
+// Endpoints: POST /v1/map, POST /v1/classify, GET /healthz, GET /metrics,
+// GET /v1/registry, POST /v1/registry/{models,libraries}, GET /debug/vars.
+// On SIGINT/SIGTERM the server drains gracefully: listeners close, queued
+// requests shed with 503, and in-flight mappings run to completion.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"slap/internal/server"
+)
+
+// artifactFlags collects repeatable -model / -lib flags of the form
+// "name=path" or bare "path" (name derived from the file name).
+type artifactFlags []struct{ name, path string }
+
+func (a *artifactFlags) String() string { return fmt.Sprint(*a) }
+
+func (a *artifactFlags) Set(v string) error {
+	name, path := "", v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		name, path = v[:i], v[i+1:]
+	}
+	if path == "" {
+		return fmt.Errorf("empty path in %q (want name=path or path)", v)
+	}
+	*a = append(*a, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8351", "listen address")
+		models    artifactFlags
+		libs      artifactFlags
+		workers   = flag.Int("workers", 0, "global worker budget shared by all requests (0 = all CPU cores)")
+		queueCap  = flag.Int("queue", server.DefaultQueueCap, "bounded request queue length (overload sheds with 503)")
+		timeout   = flag.Duration("timeout", server.DefaultRequestTimeout, "default per-request timeout")
+		maxBody   = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+		drainWait = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Var(&models, "model", "model to preload, as name=path or path (repeatable)")
+	flag.Var(&libs, "lib", "genlib-like library to preload, as name=path or path (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, models, libs, *workers, *queueCap, *timeout, *maxBody, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "slap-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, models, libs artifactFlags, workers, queueCap int, timeout time.Duration, maxBody int64, drainWait time.Duration) error {
+	reg := server.NewRegistry()
+	for _, m := range models {
+		if err := reg.AddModelFile(m.name, m.path); err != nil {
+			return err
+		}
+	}
+	for _, l := range libs {
+		if err := reg.AddLibraryFile(l.name, l.path); err != nil {
+			return err
+		}
+	}
+
+	s := server.New(server.Config{
+		Registry:       reg,
+		WorkerBudget:   workers,
+		QueueCap:       queueCap,
+		DefaultTimeout: timeout,
+		MaxBodyBytes:   maxBody,
+	})
+	s.Metrics().PublishExpvar()
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("slap-serve listening on %s (budget %d workers, queue %d, %d models, %d libraries)",
+			addr, s.Scheduler().Budget(), queueCap, len(reg.Models()), len(reg.Libraries()))
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received: draining (deadline %s)", drainWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	err := hs.Shutdown(shutdownCtx) // waits for in-flight requests
+	s.Close()                       // then fail-fast any queued acquires
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("drained, bye")
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestArtifactFlagsSet(t *testing.T) {
+	var a artifactFlags
+	if err := a.Set("prod=model.gob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("plain.gob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("broken="); err == nil {
+		t.Error("Set(\"broken=\") succeeded, want error")
+	}
+	if len(a) != 2 {
+		t.Fatalf("collected %d artifacts, want 2", len(a))
+	}
+	if a[0].name != "prod" || a[0].path != "model.gob" {
+		t.Errorf("a[0] = %+v, want {prod model.gob}", a[0])
+	}
+	if a[1].name != "" || a[1].path != "plain.gob" {
+		t.Errorf("a[1] = %+v, want { plain.gob}", a[1])
+	}
+}
+
+func TestRunRejectsBadArtifacts(t *testing.T) {
+	var models artifactFlags
+	if err := models.Set("/nonexistent/model.gob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("127.0.0.1:0", models, nil, 1, 1, 0, 0, 0); err == nil {
+		t.Error("run with a missing model file succeeded, want startup error")
+	}
+}

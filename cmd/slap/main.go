@@ -19,7 +19,6 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"strings"
 
 	"slap/internal/aig"
 	"slap/internal/core"
@@ -33,7 +32,7 @@ import (
 func main() {
 	var (
 		circuitName = flag.String("circuit", "", "built-in circuit name (Table II row, e.g. adder, bar, AES)")
-		aagPath     = flag.String("aag", "", "map an ASCII AIGER (.aag) or BLIF (.blif) file instead of a built-in circuit")
+		aagPath     = flag.String("aag", "", "map an ASCII AIGER (.aag) or BLIF (.blif) file instead of a built-in circuit; \"-\" reads from stdin (format auto-detected)")
 		profileName = flag.String("profile", "fast", "design size profile: fast or paper")
 		policyName  = flag.String("policy", "default", "cut policy: default, unlimited, shuffle, slap")
 		modelPath   = flag.String("model", "", "trained model file (required for -policy slap)")
@@ -55,6 +54,7 @@ func main() {
 		policy: *policyName, model: *modelPath, lib: *libPath,
 		seed: *seed, limit: *limit, workers: *workers, verify: *verify, list: *listNames,
 		cells: *showCells, verilog: *verilogOut, blif: *blifOut, report: *report,
+		stdin: os.Stdin,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "slap:", err)
 		os.Exit(1)
@@ -68,6 +68,8 @@ type runConfig struct {
 	limit, workers                            int
 	verify, list, cells, report               bool
 	verilog, blif                             string
+	// stdin backs -aag "-"; nil falls back to os.Stdin.
+	stdin io.Reader
 }
 
 func run(cfg runConfig) error {
@@ -90,7 +92,7 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	g, err := loadCircuit(circuitName, aagPath, profile)
+	g, err := loadCircuit(circuitName, aagPath, profile, cfg.stdin)
 	if err != nil {
 		return err
 	}
@@ -177,25 +179,26 @@ func loadLibrary(path string) (*library.Library, error) {
 	if path == "" {
 		return library.ASAP7ish(), nil
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return library.Parse(path, f)
+	return library.LoadFile(path)
 }
 
-func loadCircuit(name, aagPath string, p experiments.Profile) (*aig.AIG, error) {
+// loadCircuit resolves the subject graph: a built-in generator, a circuit
+// file, or stdin via "-" — the same aig.Decode path the slap-serve front
+// end uses on request bodies.
+func loadCircuit(name, aagPath string, p experiments.Profile, stdin io.Reader) (*aig.AIG, error) {
+	if aagPath == "-" {
+		if stdin == nil {
+			stdin = os.Stdin
+		}
+		return aig.Decode(aig.FormatAuto, stdin)
+	}
 	if aagPath != "" {
 		f, err := os.Open(aagPath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		if strings.HasSuffix(aagPath, ".blif") {
-			return aig.ReadBLIF(f)
-		}
-		return aig.ReadAAG(f)
+		return aig.Decode(aig.FormatForPath(aagPath), f)
 	}
 	if name == "" {
 		return nil, fmt.Errorf("need -circuit or -aag (use -list for built-in names)")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,6 +43,23 @@ func TestRunAAGInput(t *testing.T) {
 	}
 	f.Close()
 	if err := run(runConfig{aag: path, profile: "fast", policy: "unlimited", seed: 1, verify: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStdinInput maps a circuit piped to -aag "-": the stdin decode
+// path shared with the slap-serve front end, format auto-detected.
+func TestRunStdinInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := circuits.TrainRC16().WriteAAG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runConfig{aag: "-", stdin: &buf, profile: "fast", policy: "unlimited", seed: 1, verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	// BLIF on stdin sniffs too.
+	blif := ".model tiny\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end\n"
+	if err := run(runConfig{aag: "-", stdin: strings.NewReader(blif), profile: "fast", policy: "default", seed: 1, verify: true}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,78 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format names accepted by Decode.
+const (
+	FormatAuto = "auto"
+	FormatAAG  = "aag"
+	FormatBLIF = "blif"
+)
+
+// Decode parses a combinational circuit from r in the named format:
+// "aag"/"aiger" (ASCII AIGER), "blif", or "auto"/"" which sniffs the format
+// from the first non-comment line. This is the single decode path shared by
+// the slap CLI and the slap-serve HTTP front end.
+func Decode(format string, r io.Reader) (*AIG, error) {
+	switch strings.ToLower(format) {
+	case "", FormatAuto:
+		return DecodeAuto(r)
+	case FormatAAG, "aiger":
+		return ReadAAG(r)
+	case FormatBLIF:
+		return ReadBLIF(r)
+	default:
+		return nil, fmt.Errorf("aig: unknown circuit format %q (want aag, blif or auto)", format)
+	}
+}
+
+// FormatForPath returns the decode format implied by a file name: ".blif"
+// selects BLIF, everything else ASCII AIGER (the historical CLI rule).
+// The name "-" (stdin) selects auto-sniffing.
+func FormatForPath(path string) string {
+	switch {
+	case path == "-":
+		return FormatAuto
+	case strings.HasSuffix(path, ".blif"):
+		return FormatBLIF
+	default:
+		return FormatAAG
+	}
+}
+
+// DecodeAuto parses a circuit whose format is sniffed from the stream: a
+// first non-blank, non-'#' line starting with "aag" is ASCII AIGER; one
+// starting with '.' is BLIF. The sniffer inspects at most the first 4 KiB.
+func DecodeAuto(r io.Reader) (*AIG, error) {
+	br := bufio.NewReaderSize(r, 4096)
+	head, err := br.Peek(4096)
+	if len(head) == 0 && err != nil && err != io.EOF {
+		return nil, fmt.Errorf("aig: sniffing circuit format: %w", err)
+	}
+	for _, line := range strings.Split(string(head), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "aag"):
+			return ReadAAG(br)
+		case strings.HasPrefix(line, "."):
+			return ReadBLIF(br)
+		}
+		return nil, fmt.Errorf("aig: cannot detect circuit format from line %q (want an ASCII AIGER 'aag' header or a BLIF '.' directive)", truncate(line, 40))
+	}
+	return nil, fmt.Errorf("aig: cannot detect circuit format: no content in the first %d bytes", len(head))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

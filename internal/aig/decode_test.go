@@ -1,0 +1,90 @@
+package aig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// small returns a two-input AND graph for round-tripping.
+func small() *AIG {
+	g := New("small")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO("o", g.And(a, b))
+	return g
+}
+
+func TestDecodeAutoAAG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := small().WriteAAG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeAuto(&buf)
+	if err != nil {
+		t.Fatalf("DecodeAuto(aag): %v", err)
+	}
+	if g.NumPIs() != 2 || g.NumPOs() != 1 {
+		t.Fatalf("decoded %d PIs / %d POs, want 2/1", g.NumPIs(), g.NumPOs())
+	}
+}
+
+func TestDecodeAutoBLIF(t *testing.T) {
+	blif := `# a comment first
+.model tiny
+.inputs a b
+.outputs o
+.names a b o
+11 1
+.end
+`
+	g, err := Decode("auto", strings.NewReader(blif))
+	if err != nil {
+		t.Fatalf("Decode(auto, blif): %v", err)
+	}
+	if g.NumPIs() != 2 || g.NumPOs() != 1 {
+		t.Fatalf("decoded %d PIs / %d POs, want 2/1", g.NumPIs(), g.NumPOs())
+	}
+}
+
+func TestDecodeExplicitFormats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := small().WriteAAG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode("aag", bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("Decode(aag): %v", err)
+	}
+	if _, err := Decode("aiger", bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("Decode(aiger): %v", err)
+	}
+	if _, err := Decode("bogus", bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Decode(bogus): expected error")
+	}
+}
+
+func TestDecodeAutoGarbage(t *testing.T) {
+	if _, err := DecodeAuto(strings.NewReader("not a circuit\n")); err == nil {
+		t.Error("expected sniff failure on garbage input")
+	}
+	if _, err := DecodeAuto(strings.NewReader("")); err == nil {
+		t.Error("expected sniff failure on empty input")
+	}
+	if _, err := DecodeAuto(strings.NewReader("# only comments\n\n")); err == nil {
+		t.Error("expected sniff failure on comment-only input")
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	cases := map[string]string{
+		"x.blif": FormatBLIF,
+		"x.aag":  FormatAAG,
+		"x":      FormatAAG,
+		"-":      FormatAuto,
+	}
+	for path, want := range cases {
+		if got := FormatForPath(path); got != want {
+			t.Errorf("FormatForPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -212,8 +213,23 @@ func Train(opt TrainOptions) (*SLAP, *TrainReport, error) {
 // what read_cuts feeds to the mapper; TotalCuts is the SLAP "Cuts Used"
 // metric.
 func (s *SLAP) FilterCuts(g *aig.AIG) *cuts.Result {
+	res, _ := s.FilterCutsContext(context.Background(), g)
+	return res
+}
+
+// FilterCutsContext is FilterCuts with cooperative cancellation: the
+// classification workers poll ctx between nodes and the whole call returns
+// ctx.Err() as soon as the deadline passes or the caller gives up — the
+// per-request timeout path of the slap-serve front end.
+func (s *SLAP) FilterCutsContext(ctx context.Context, g *aig.AIG) (*cuts.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap, Workers: s.Workers}
 	res := enum.Run()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	emb := embed.NewEmbedder(g)
 	emb.PrecomputeAll()
 
@@ -233,19 +249,25 @@ func (s *SLAP) FilterCuts(g *aig.AIG) *cuts.Result {
 		go func(w int) {
 			defer wg.Done()
 			for ni := w; ni < len(nodes); ni += workers {
+				if ctx.Err() != nil {
+					return
+				}
 				n := nodes[ni]
 				res.Sets[n] = s.filterNode(g, emb, n, res.Sets[n])
 			}
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	total := 0
 	for _, n := range nodes {
 		total += len(res.Sets[n])
 	}
 	res.TotalCuts = total
-	return res
+	return res, nil
 }
 
 // filterNode applies the paper's keep decision to one node's cut list:
@@ -308,9 +330,21 @@ func trivialOf(n uint32, cs []cuts.Cut) cuts.Cut {
 // with the unchanged mapper (Boolean matching, arrival update and cover
 // selection untouched, as in the paper).
 func (s *SLAP) Map(g *aig.AIG) (*mapper.Result, error) {
-	filtered := s.FilterCuts(g)
+	return s.MapContext(context.Background(), g)
+}
+
+// MapContext is Map with cooperative cancellation between flow stages and
+// inside the classification workers (see FilterCutsContext).
+func (s *SLAP) MapContext(ctx context.Context, g *aig.AIG) (*mapper.Result, error) {
+	filtered, err := s.FilterCutsContext(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 	res, err := mapper.Map(g, mapper.Options{Library: s.Library, CutSets: filtered})
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	res.PolicyName = "slap"
@@ -325,11 +359,107 @@ func (s *SLAP) Map(g *aig.AIG) (*mapper.Result, error) {
 // as the nature of the problem is the same"). The same ML-filtered cut
 // sets feed the depth-oriented LUT coverer unchanged.
 func (s *SLAP) MapLUT(g *aig.AIG) (*lutmap.Result, error) {
-	filtered := s.FilterCuts(g)
+	return s.MapLUTContext(context.Background(), g)
+}
+
+// MapLUTContext is MapLUT with cooperative cancellation (see MapContext).
+func (s *SLAP) MapLUTContext(ctx context.Context, g *aig.AIG) (*lutmap.Result, error) {
+	filtered, err := s.FilterCutsContext(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 	res, err := lutmap.Map(g, lutmap.Options{CutSets: filtered})
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.PolicyName = "slap"
 	return res, nil
+}
+
+// NodeCutClasses lists the predicted QoR class of every non-trivial cut of
+// one AND node, in the enumeration order of the cut set.
+type NodeCutClasses struct {
+	// Node is the subject-graph node.
+	Node uint32
+	// Classes holds one predicted class (0..Classes-1) per non-trivial cut.
+	Classes []int
+}
+
+// Classification is the result of ClassifyContext — the inference half of
+// the SLAP flow without the keep decision or the mapper, served by the
+// slap-serve /v1/classify endpoint.
+type Classification struct {
+	// Nodes lists per-node cut classes in ascending node order.
+	Nodes []NodeCutClasses
+	// Histogram counts classified cuts per QoR class.
+	Histogram []int
+	// TotalCuts is the number of classified (non-trivial) cuts.
+	TotalCuts int
+}
+
+// ClassifyContext enumerates all k-cuts of g and predicts each non-trivial
+// cut's QoR class, without filtering or mapping. Parallelism follows
+// s.Workers; cancellation follows ctx as in FilterCutsContext.
+func (s *SLAP) ClassifyContext(ctx context.Context, g *aig.AIG) (*Classification, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap, Workers: s.Workers}
+	res := enum.Run()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	emb := embed.NewEmbedder(g)
+	emb.PrecomputeAll()
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nodes := make([]uint32, 0, g.NumNodes())
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if g.IsAnd(n) {
+			nodes = append(nodes, n)
+		}
+	}
+	perNode := make([][]int, len(nodes))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ni := w; ni < len(nodes); ni += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				n := nodes[ni]
+				cs := res.Sets[n]
+				classes := make([]int, 0, len(cs))
+				for i := range cs {
+					if cs[i].IsTrivial(n) {
+						continue
+					}
+					classes = append(classes, s.Model.PredictClass(emb.Cut(n, &cs[i])))
+				}
+				perNode[ni] = classes
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &Classification{Histogram: make([]int, s.Model.Classes)}
+	for ni, n := range nodes {
+		out.Nodes = append(out.Nodes, NodeCutClasses{Node: n, Classes: perNode[ni]})
+		for _, c := range perNode[ni] {
+			out.Histogram[c]++
+			out.TotalCuts++
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,91 @@
+package library
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"slap/internal/tt"
+)
+
+// TestMatchesConcurrent hammers the match memo from many goroutines over an
+// overlapping set of functions — the access pattern of concurrent mapping
+// requests sharing one registry library. Run under -race in CI; also checks
+// concurrent answers equal sequential ones.
+func TestMatchesConcurrent(t *testing.T) {
+	lib := ASAP7ish()
+	rng := rand.New(rand.NewSource(31))
+	const funcs = 128
+	fs := make([]tt.TT, funcs)
+	want := make([]int, funcs)
+	for i := range fs {
+		fs[i] = tt.TT(rng.Uint64())
+		want[i] = len(lib.Matches(fs[i]))
+	}
+	// Fresh library so the memo is cold when the goroutines race to fill it.
+	lib2 := ASAP7ish()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	var bad sync.Map
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < funcs; k++ {
+				i := (k + g*13) % funcs
+				if got := len(lib2.Matches(fs[i])); got != want[i] {
+					bad.Store(i, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	bad.Range(func(key, val any) bool {
+		t.Errorf("function %d: concurrent Matches found %d matches, want %d", key, val, want[key.(int)])
+		return true
+	})
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "mini.lib")
+	text := "GATE inv 1 O=!a DELAY 5 SLOPE 1\nGATE nand2 1.5 O=!(a&b) DELAY 9 SLOPE 2\n"
+	if err := os.WriteFile(good, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := LoadFile(good)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if lib.Name != "mini.lib" {
+		t.Errorf("library named %q, want mini.lib", lib.Name)
+	}
+	if len(lib.Gates) != 2 || lib.Inv == nil {
+		t.Errorf("loaded %d gates (inv %v), want 2 with an inverter", len(lib.Gates), lib.Inv)
+	}
+}
+
+// TestLoadFileErrorsNamePath checks the error-wrapping contract: a missing
+// or malformed library file surfaces its path in the failure message.
+func TestLoadFileErrorsNamePath(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.lib")
+	if _, err := LoadFile(missing); err == nil {
+		t.Fatal("expected error for missing library file")
+	} else if !strings.Contains(err.Error(), "nope.lib") {
+		t.Errorf("missing-file error does not name the path: %v", err)
+	}
+
+	bad := filepath.Join(dir, "bad.lib")
+	if err := os.WriteFile(bad, []byte("GATE broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("expected error for malformed library file")
+	} else if !strings.Contains(err.Error(), "bad.lib") {
+		t.Errorf("parse error does not name the path: %v", err)
+	}
+}

@@ -15,8 +15,11 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"slap/internal/tt"
 )
@@ -53,6 +56,11 @@ type Library struct {
 	// Inv is the designated inverter cell (required).
 	Inv *Gate
 
+	// mu guards canon and matchMemo: the gate set is immutable after New,
+	// but Boolean matching memoises per cut function, and a library shared
+	// read-only across concurrent mapping requests (the slap-serve registry)
+	// hits that memo from many goroutines.
+	mu        sync.RWMutex
 	canon     *tt.Canonicalizer
 	byClass   map[tt.TT][]gateEntry
 	matchMemo map[tt.TT][]Match
@@ -108,8 +116,18 @@ func New(name string, gates []*Gate) (*Library, error) {
 
 // Matches returns every gate binding that realises the cut function f (or
 // its complement, flagged by OutNeg). Results are memoised per function.
-// The returned slice must not be modified.
+// The returned slice must not be modified. Matches is safe for concurrent
+// use: the memo and the underlying canonicaliser are lock-protected, so one
+// Library may serve many mapping goroutines.
 func (l *Library) Matches(f tt.TT) []Match {
+	l.mu.RLock()
+	m, ok := l.matchMemo[f]
+	l.mu.RUnlock()
+	if ok {
+		return m
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if m, ok := l.matchMemo[f]; ok {
 		return m
 	}
@@ -140,6 +158,22 @@ func (l *Library) Gate(name string) *Gate {
 		}
 	}
 	return nil
+}
+
+// LoadFile parses a genlib-like library file, naming the library after the
+// file's base name. Errors — open failures and parse failures alike — carry
+// the path, so a bad -lib flag or registry entry names the offending file.
+func LoadFile(path string) (*Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("library: open %s: %w", path, err)
+	}
+	defer f.Close()
+	l, err := Parse(filepath.Base(path), f)
+	if err != nil {
+		return nil, fmt.Errorf("library: load %s: %w", path, err)
+	}
+	return l, nil
 }
 
 // Parse reads a library in the genlib-like text format. Lines starting with

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPredictParallel is the concurrent-reader regression test for the
+// documented guarantee on Predict/PredictClass: many goroutines sharing one
+// Model must produce exactly the sequential answers, with no shared scratch
+// (run under -race in CI).
+func TestPredictParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := NewModel(15, 10, 32, 10, rng)
+	const samples = 64
+	xs := make([][]float64, samples)
+	for i := range xs {
+		x := make([]float64, 150)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		xs[i] = x
+	}
+
+	wantProbs := make([][]float64, samples)
+	wantClass := make([]int, samples)
+	for i, x := range xs {
+		wantProbs[i] = m.Predict(x)
+		wantClass[i] = m.PredictClass(x)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine sweeps all samples from a different offset so
+			// concurrent calls overlap on the same inputs.
+			for k := 0; k < samples; k++ {
+				i := (k + g*7) % samples
+				probs := m.Predict(xs[i])
+				for c := range probs {
+					if probs[c] != wantProbs[i][c] {
+						errs <- "Predict diverged under concurrency"
+						return
+					}
+				}
+				if m.PredictClass(xs[i]) != wantClass[i] {
+					errs <- "PredictClass diverged under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestLoadFileErrorsNamePath checks the error-wrapping contract: a missing
+// or corrupt artifact surfaces its path in the failure message.
+func TestLoadFileErrorsNamePath(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.gob")
+	if _, err := LoadFile(missing); err == nil {
+		t.Fatal("expected error for missing model file")
+	} else if !strings.Contains(err.Error(), "nope.gob") {
+		t.Errorf("missing-file error does not name the path: %v", err)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.gob")
+	if err := os.WriteFile(corrupt, []byte("this is not a gob model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(corrupt); err == nil {
+		t.Fatal("expected error for corrupt model file")
+	} else if !strings.Contains(err.Error(), "corrupt.gob") {
+		t.Errorf("corrupt-file error does not name the path: %v", err)
+	}
+}

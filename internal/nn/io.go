@@ -37,14 +37,20 @@ func (m *Model) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadFile reads a model from path.
+// LoadFile reads a model from path. Errors — open failures and decode or
+// shape-validation failures alike — carry the path, so a bad -model flag or
+// registry entry names the offending file.
 func LoadFile(path string) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: open model %s: %w", path, err)
 	}
 	defer f.Close()
-	return Load(f)
+	m, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load model %s: %w", path, err)
+	}
+	return m, nil
 }
 
 func (m *Model) validate() error {

@@ -158,6 +158,12 @@ func (m *Model) forward(x []float64, a *acts) {
 }
 
 // Predict returns the class probabilities for one input.
+//
+// Predict and PredictClass are safe for concurrent readers: each call
+// allocates its own activation scratch and only reads the weight slices, so
+// one deserialised Model may be shared across mapping goroutines and server
+// requests without copying. (Training methods mutate weights and must not
+// run concurrently with inference.)
 func (m *Model) Predict(x []float64) []float64 {
 	a := m.newActs()
 	m.forward(x, a)
@@ -166,7 +172,8 @@ func (m *Model) Predict(x []float64) []float64 {
 	return out
 }
 
-// PredictClass returns the argmax class for one input.
+// PredictClass returns the argmax class for one input. Like Predict, it is
+// safe for concurrent readers (per-call scratch, read-only weights).
 func (m *Model) PredictClass(x []float64) int {
 	a := m.newActs()
 	m.forward(x, a)

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histogram, chosen to straddle everything from a /healthz probe to a
+// paper-profile AES mapping.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Metrics aggregates service observability: per-endpoint/status request
+// counts, a global latency histogram, cut throughput, and the scheduler's
+// queue/inflight gauges. It renders both Prometheus text (GET /metrics)
+// and an expvar snapshot.
+type Metrics struct {
+	start time.Time
+	sched *Scheduler
+
+	mu           sync.Mutex
+	requests     map[string]map[int]int64 // endpoint -> status -> count
+	bucketCounts []int64
+	latencySum   float64
+	latencyCount int64
+	cutsTotal    int64
+	mapsTotal    int64
+}
+
+// NewMetrics returns a Metrics bound to the scheduler's gauges.
+func NewMetrics(sched *Scheduler) *Metrics {
+	return &Metrics{
+		start:        time.Now(),
+		sched:        sched,
+		requests:     make(map[string]map[int]int64),
+		bucketCounts: make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+// Observe records one completed request.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[endpoint]
+	if byStatus == nil {
+		byStatus = make(map[int]int64)
+		m.requests[endpoint] = byStatus
+	}
+	byStatus[status]++
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	m.bucketCounts[i]++
+	m.latencySum += sec
+	m.latencyCount++
+}
+
+// AddCuts accumulates cuts exposed to matching by one mapping request —
+// the numerator of the cuts/sec throughput gauge.
+func (m *Metrics) AddCuts(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cutsTotal += int64(n)
+	m.mapsTotal++
+}
+
+// CutsPerSec returns mean cut throughput since the server started.
+func (m *Metrics) CutsPerSec() float64 {
+	up := time.Since(m.start).Seconds()
+	if up <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return float64(m.cutsTotal) / up
+}
+
+// WritePrometheus renders the Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	type row struct {
+		endpoint string
+		status   int
+		count    int64
+	}
+	var rows []row
+	for ep, byStatus := range m.requests {
+		for st, c := range byStatus {
+			rows = append(rows, row{ep, st, c})
+		}
+	}
+	buckets := append([]int64(nil), m.bucketCounts...)
+	latencySum, latencyCount := m.latencySum, m.latencyCount
+	cutsTotal, mapsTotal := m.cutsTotal, m.mapsTotal
+	m.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].endpoint != rows[j].endpoint {
+			return rows[i].endpoint < rows[j].endpoint
+		}
+		return rows[i].status < rows[j].status
+	})
+
+	fmt.Fprintln(w, "# HELP slap_requests_total Completed HTTP requests by endpoint and status.")
+	fmt.Fprintln(w, "# TYPE slap_requests_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "slap_requests_total{endpoint=%q,code=\"%d\"} %d\n", r.endpoint, r.status, r.count)
+	}
+
+	fmt.Fprintln(w, "# HELP slap_request_seconds Request latency histogram.")
+	fmt.Fprintln(w, "# TYPE slap_request_seconds histogram")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += buckets[i]
+		fmt.Fprintf(w, "slap_request_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += buckets[len(latencyBuckets)]
+	fmt.Fprintf(w, "slap_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "slap_request_seconds_sum %g\n", latencySum)
+	fmt.Fprintf(w, "slap_request_seconds_count %d\n", latencyCount)
+
+	fmt.Fprintln(w, "# HELP slap_queue_depth Requests waiting for worker tokens.")
+	fmt.Fprintln(w, "# TYPE slap_queue_depth gauge")
+	fmt.Fprintf(w, "slap_queue_depth %d\n", m.sched.QueueDepth())
+
+	fmt.Fprintln(w, "# HELP slap_inflight_workers Worker tokens currently borrowed.")
+	fmt.Fprintln(w, "# TYPE slap_inflight_workers gauge")
+	fmt.Fprintf(w, "slap_inflight_workers %d\n", m.sched.InFlight())
+
+	fmt.Fprintln(w, "# HELP slap_worker_budget Global worker-token budget.")
+	fmt.Fprintln(w, "# TYPE slap_worker_budget gauge")
+	fmt.Fprintf(w, "slap_worker_budget %d\n", m.sched.Budget())
+
+	fmt.Fprintln(w, "# HELP slap_cuts_considered_total Cuts exposed to Boolean matching across all mappings.")
+	fmt.Fprintln(w, "# TYPE slap_cuts_considered_total counter")
+	fmt.Fprintf(w, "slap_cuts_considered_total %d\n", cutsTotal)
+
+	fmt.Fprintln(w, "# HELP slap_mappings_total Completed mapping runs.")
+	fmt.Fprintln(w, "# TYPE slap_mappings_total counter")
+	fmt.Fprintf(w, "slap_mappings_total %d\n", mapsTotal)
+
+	fmt.Fprintln(w, "# HELP slap_cuts_per_second Mean cut throughput since start.")
+	fmt.Fprintln(w, "# TYPE slap_cuts_per_second gauge")
+	fmt.Fprintf(w, "slap_cuts_per_second %g\n", m.CutsPerSec())
+
+	fmt.Fprintln(w, "# HELP slap_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE slap_uptime_seconds gauge")
+	fmt.Fprintf(w, "slap_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}
+
+// snapshot builds the expvar map: counters plus live gauges.
+func (m *Metrics) snapshot() any {
+	m.mu.Lock()
+	total := int64(0)
+	byEndpoint := make(map[string]int64, len(m.requests))
+	for ep, byStatus := range m.requests {
+		for _, c := range byStatus {
+			byEndpoint[ep] += c
+			total += c
+		}
+	}
+	cutsTotal := m.cutsTotal
+	mapsTotal := m.mapsTotal
+	m.mu.Unlock()
+	return map[string]any{
+		"requests_total":       total,
+		"requests_by_endpoint": byEndpoint,
+		"cuts_considered":      cutsTotal,
+		"mappings_total":       mapsTotal,
+		"cuts_per_second":      m.CutsPerSec(),
+		"queue_depth":          m.sched.QueueDepth(),
+		"inflight_workers":     m.sched.InFlight(),
+		"worker_budget":        m.sched.Budget(),
+		"uptime_seconds":       time.Since(m.start).Seconds(),
+	}
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes this Metrics as the process-wide "slap" expvar.
+// expvar names are global to the process, so only the first server to call
+// this wins; tests that build many servers simply skip it.
+func (m *Metrics) PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("slap", expvar.Func(m.snapshot))
+	})
+}

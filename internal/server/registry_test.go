@@ -1,0 +1,102 @@
+package server
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slap/internal/embed"
+	"slap/internal/nn"
+)
+
+func tinyModel(seed int64) *nn.Model {
+	return nn.NewModel(embed.Rows, embed.Cols, 4, 10, rand.New(rand.NewSource(seed)))
+}
+
+func TestRegistryDefaults(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Library(""); err != nil {
+		t.Errorf("default library lookup: %v", err)
+	}
+	if _, err := r.Library(DefaultLibrary); err != nil {
+		t.Errorf("asap7ish lookup: %v", err)
+	}
+	libs := r.Libraries()
+	if len(libs) != 1 || libs[0].Name != DefaultLibrary || libs[0].Source != "builtin" {
+		t.Errorf("Libraries() = %+v, want the builtin asap7ish entry", libs)
+	}
+	if len(r.Models()) != 0 {
+		t.Errorf("fresh registry has %d models, want 0", len(r.Models()))
+	}
+}
+
+func TestRegistryAddAndLookup(t *testing.T) {
+	r := NewRegistry()
+	m := tinyModel(1)
+	if err := r.AddModel("toy", m, "test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Model("toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Error("Model(toy) did not return the registered pointer")
+	}
+	if err := r.AddModel("toy", tinyModel(2), "test"); err == nil {
+		t.Error("duplicate AddModel succeeded, want error")
+	}
+	if _, err := r.Model("nonesuch"); err == nil {
+		t.Error("unknown model lookup succeeded, want error")
+	} else if !strings.Contains(err.Error(), "toy") {
+		t.Errorf("unknown-model error does not list available names: %v", err)
+	}
+}
+
+func TestRegistryAddModelFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "toy.gob")
+	if err := tinyModel(3).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	// Empty name derives from the file name.
+	if err := r.AddModelFile("", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Model("toy"); err != nil {
+		t.Errorf("Model(toy) after AddModelFile: %v", err)
+	}
+	if err := r.AddModelFile("bad", filepath.Join(dir, "missing.gob")); err == nil {
+		t.Error("AddModelFile(missing) succeeded, want error")
+	} else if !strings.Contains(err.Error(), "missing.gob") {
+		t.Errorf("load error does not name the file: %v", err)
+	}
+}
+
+func TestRegistryAddLibraryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mini.lib")
+	text := "GATE inv 1 O=!a DELAY 5 SLOPE 1\nGATE nand2 1.5 O=!(a&b) DELAY 9 SLOPE 2\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	if err := r.AddLibraryFile("", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Library("mini"); err != nil {
+		t.Errorf("Library(mini): %v", err)
+	}
+	infos := r.Libraries()
+	if len(infos) != 2 {
+		t.Errorf("Libraries() has %d entries, want 2", len(infos))
+	}
+	if _, err := r.Library("nope"); err == nil {
+		t.Error("unknown library lookup succeeded, want error")
+	} else if !strings.Contains(err.Error(), DefaultLibrary) {
+		t.Errorf("unknown-library error does not list available names: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSchedulerClampsToBudget(t *testing.T) {
+	s := NewScheduler(4, 8)
+	// A request for more than the budget (or <= 0) gets the whole budget.
+	for _, want := range []int{0, -1, 99} {
+		got, release, err := s.Acquire(context.Background(), want)
+		if err != nil {
+			t.Fatalf("Acquire(%d): %v", want, err)
+		}
+		if got != 4 {
+			t.Errorf("Acquire(%d) granted %d, want 4", want, got)
+		}
+		release()
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("InFlight after releases = %d, want 0", s.InFlight())
+	}
+}
+
+func TestSchedulerNeverOversubscribes(t *testing.T) {
+	const budget = 3
+	s := NewScheduler(budget, 100)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := 1 + i%budget
+			got, release, err := s.Acquire(context.Background(), want)
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			cur := inUse.Add(int64(got))
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-int64(got))
+			release()
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > budget {
+		t.Errorf("peak borrowed tokens %d exceeds budget %d", p, budget)
+	}
+	if s.InFlight() != 0 || s.QueueDepth() != 0 {
+		t.Errorf("scheduler not drained: inflight=%d queued=%d", s.InFlight(), s.QueueDepth())
+	}
+}
+
+func TestSchedulerQueueFull(t *testing.T) {
+	s := NewScheduler(1, 1)
+	_, release, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue...
+	done := make(chan error, 1)
+	go func() {
+		_, rel, err := s.Acquire(context.Background(), 1)
+		if err == nil {
+			rel()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return s.QueueDepth() == 1 })
+	// ...the next overflows it.
+	if _, _, err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overflow Acquire err = %v, want ErrQueueFull", err)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Errorf("queued Acquire failed: %v", err)
+	}
+}
+
+func TestSchedulerContextWhileQueued(t *testing.T) {
+	s := NewScheduler(1, 10)
+	_, release, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := s.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("queued Acquire err = %v, want DeadlineExceeded", err)
+	}
+	if s.QueueDepth() != 0 {
+		t.Errorf("cancelled waiter still queued (depth %d)", s.QueueDepth())
+	}
+	release()
+	// An already-expired context fails without touching the queue.
+	if _, _, err := s.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired-ctx Acquire err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestSchedulerClose(t *testing.T) {
+	s := NewScheduler(1, 10)
+	_, release, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		_, _, err := s.Acquire(context.Background(), 1)
+		queued <- err
+	}()
+	waitFor(t, func() bool { return s.QueueDepth() == 1 })
+	s.Close()
+	if err := <-queued; !errors.Is(err, ErrClosed) {
+		t.Errorf("queued Acquire after Close err = %v, want ErrClosed", err)
+	}
+	if _, _, err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Acquire after Close err = %v, want ErrClosed", err)
+	}
+	// In-flight work still releases cleanly during drain.
+	release()
+	if s.InFlight() != 0 {
+		t.Errorf("InFlight after drain = %d, want 0", s.InFlight())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,610 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"math/rand"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"slap/internal/aig"
+	"slap/internal/core"
+	"slap/internal/cuts"
+	"slap/internal/library"
+	"slap/internal/lutmap"
+	"slap/internal/mapper"
+	"slap/internal/nn"
+)
+
+// Config configures a mapping server.
+type Config struct {
+	// Registry supplies models and libraries; nil creates a fresh registry
+	// holding only the built-in asap7ish library.
+	Registry *Registry
+	// WorkerBudget is the global worker-token budget (0 = GOMAXPROCS).
+	WorkerBudget int
+	// QueueCap bounds the scheduler wait queue (0 = DefaultQueueCap).
+	QueueCap int
+	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// DefaultTimeout applies to requests that set no timeout_ms
+	// (0 = DefaultRequestTimeout).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (0 = DefaultMaxTimeout).
+	MaxTimeout time.Duration
+}
+
+// Server defaults.
+const (
+	DefaultMaxBodyBytes   = 8 << 20
+	DefaultRequestTimeout = 60 * time.Second
+	DefaultMaxTimeout     = 5 * time.Minute
+)
+
+// Server is the long-running mapping service: registry + scheduler +
+// metrics behind an http.Handler.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	sched   *Scheduler
+	metrics *Metrics
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New assembles a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		sched: NewScheduler(cfg.WorkerBudget, cfg.QueueCap),
+		start: time.Now(),
+	}
+	s.metrics = NewMetrics(s.sched)
+
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/map", s.instrument("/v1/map", s.handleMap))
+	mux.Handle("POST /v1/classify", s.instrument("/v1/classify", s.handleClassify))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	mux.Handle("GET /v1/registry", s.instrument("/v1/registry", s.handleRegistryList))
+	mux.Handle("POST /v1/registry/models", s.instrument("/v1/registry/models", s.handleRegistryAddModel))
+	mux.Handle("POST /v1/registry/libraries", s.instrument("/v1/registry/libraries", s.handleRegistryAddLibrary))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's registry (for startup preloading).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Scheduler exposes the worker scheduler (gauges, tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Metrics exposes the server's metrics (expvar publication, tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close begins draining: queued requests fail fast with 503 while granted
+// worker tokens stay borrowed until their mappings finish. Call after
+// http.Server.Shutdown has stopped accepting connections.
+func (s *Server) Close() { s.sched.Close() }
+
+// ---------------------------------------------------------------------------
+// Request/response types
+
+// MapRequest is the JSON envelope of POST /v1/map. When the request body is
+// not JSON, the body is the circuit text itself and every other field is
+// read from the URL query (same names).
+type MapRequest struct {
+	// Circuit is the AIGER or BLIF source text.
+	Circuit string `json:"circuit"`
+	// Format is the circuit format: aag, blif or auto (default auto).
+	Format string `json:"format"`
+	// Policy is the cut policy: default, unlimited, shuffle or slap.
+	Policy string `json:"policy"`
+	// Model names a registry model (required for policy slap and classify).
+	Model string `json:"model"`
+	// Library names a registry library (default asap7ish).
+	Library string `json:"library"`
+	// Target selects the backend: asic (standard cells, default) or lut.
+	Target string `json:"target"`
+	// Seed drives the shuffle policy.
+	Seed int64 `json:"seed"`
+	// Limit is the per-node cut budget of default/shuffle (0 = 250).
+	Limit int `json:"limit"`
+	// Workers requests a worker count; the scheduler clamps it to the
+	// global budget (0 = whole budget).
+	Workers int `json:"workers"`
+	// TimeoutMS bounds the request (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms"`
+	// Netlist selects an optional netlist payload: none, verilog or blif.
+	Netlist string `json:"netlist"`
+	// Verify re-simulates the mapped netlist against the subject graph.
+	Verify bool `json:"verify"`
+	// Detail requests per-node classes from /v1/classify.
+	Detail bool `json:"detail"`
+}
+
+// MapResponse is the JSON answer of POST /v1/map.
+type MapResponse struct {
+	Policy         string  `json:"policy"`
+	Target         string  `json:"target"`
+	Area           float64 `json:"area,omitempty"`
+	Delay          float64 `json:"delay,omitempty"`
+	ADP            float64 `json:"adp,omitempty"`
+	Cells          int     `json:"cells,omitempty"`
+	LUTs           int     `json:"luts,omitempty"`
+	Depth          int32   `json:"depth,omitempty"`
+	CutsConsidered int     `json:"cuts_considered"`
+	MatchAttempts  int     `json:"match_attempts,omitempty"`
+	Workers        int     `json:"workers"`
+	QueueMS        float64 `json:"queue_ms"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	Verified       bool    `json:"verified,omitempty"`
+	Netlist        string  `json:"netlist,omitempty"`
+	NetlistFormat  string  `json:"netlist_format,omitempty"`
+}
+
+// ClassifyResponse is the JSON answer of POST /v1/classify.
+type ClassifyResponse struct {
+	Model     string                `json:"model"`
+	Nodes     int                   `json:"nodes"`
+	Cuts      int                   `json:"cuts"`
+	Histogram []int                 `json:"histogram"`
+	Workers   int                   `json:"workers"`
+	ElapsedMS float64               `json:"elapsed_ms"`
+	Detail    []core.NodeCutClasses `json:"detail,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation and helpers
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument records per-endpoint request counts and latencies.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		s.metrics.Observe(endpoint, sw.status, time.Since(t0))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// parseRequest reads the request envelope and decodes the circuit. The body
+// is size-limited; oversized bodies yield 413, undecodable circuits 400.
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*MapRequest, *aig.AIG, int, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req := &MapRequest{}
+
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		if err := json.NewDecoder(body).Decode(req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				return nil, nil, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			}
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("decoding JSON request: %w", err)
+		}
+	} else {
+		// Raw circuit body; options come from the URL query.
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				return nil, nil, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			}
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err)
+		}
+		req.Circuit = string(raw)
+		q := r.URL.Query()
+		req.Format = q.Get("format")
+		req.Policy = q.Get("policy")
+		req.Model = q.Get("model")
+		req.Library = q.Get("library")
+		req.Target = q.Get("target")
+		req.Netlist = q.Get("netlist")
+		req.Seed = queryInt64(q.Get("seed"))
+		req.Limit = int(queryInt64(q.Get("limit")))
+		req.Workers = int(queryInt64(q.Get("workers")))
+		req.TimeoutMS = queryInt64(q.Get("timeout_ms"))
+		req.Verify = queryBool(q.Get("verify"))
+		req.Detail = queryBool(q.Get("detail"))
+	}
+	if strings.TrimSpace(req.Circuit) == "" {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("empty circuit: send AIGER/BLIF text as the body, or a JSON envelope with a \"circuit\" field")
+	}
+	g, err := aig.Decode(req.Format, strings.NewReader(req.Circuit))
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	return req, g, http.StatusOK, nil
+}
+
+func queryInt64(s string) int64 {
+	v, _ := strconv.ParseInt(s, 10, 64)
+	return v
+}
+
+func queryBool(s string) bool {
+	v, _ := strconv.ParseBool(s)
+	return v
+}
+
+// timeoutFor clamps a client-requested timeout to the server's cap.
+func (s *Server) timeoutFor(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// schedStatus maps scheduler/context errors to HTTP statuses.
+func schedStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  time.Since(s.start).Seconds(),
+		"models":    len(s.reg.Models()),
+		"libraries": len(s.reg.Libraries()),
+		"budget":    s.sched.Budget(),
+		"inflight":  s.sched.InFlight(),
+		"queued":    s.sched.QueueDepth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleRegistryList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":    s.reg.Models(),
+		"libraries": s.reg.Libraries(),
+	})
+}
+
+type registryAddRequest struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}
+
+func (s *Server) handleRegistryAddModel(w http.ResponseWriter, r *http.Request) {
+	s.handleRegistryAdd(w, r, s.reg.AddModelFile)
+}
+
+func (s *Server) handleRegistryAddLibrary(w http.ResponseWriter, r *http.Request) {
+	s.handleRegistryAdd(w, r, s.reg.AddLibraryFile)
+}
+
+// handleRegistryAdd hot-adds an artifact from a server-local path, named
+// either by URL query (?name=exp&path=/models/exp.gob) or a JSON body.
+func (s *Server) handleRegistryAdd(w http.ResponseWriter, r *http.Request, add func(name, path string) error) {
+	q := r.URL.Query()
+	req := registryAddRequest{Name: q.Get("name"), Path: q.Get("path")}
+	if req.Path == "" {
+		body := http.MaxBytesReader(w, r.Body, 1<<16)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding JSON request: %w", err))
+			return
+		}
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"path\""))
+		return
+	}
+	if err := add(req.Name, req.Path); err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already registered") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.handleRegistryList(w, r)
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	req, g, status, err := s.parseRequest(w, r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+
+	lib, err := s.reg.Library(req.Library)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var model *nn.Model
+	if req.Policy == "slap" {
+		if req.Model == "" {
+			writeError(w, http.StatusBadRequest, errors.New("policy \"slap\" requires \"model\" (see GET /v1/registry)"))
+			return
+		}
+		if model, err = s.reg.Model(req.Model); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+	}
+
+	t0 := time.Now()
+	granted, release, err := s.sched.Acquire(ctx, req.Workers)
+	if err != nil {
+		writeError(w, schedStatus(err), err)
+		return
+	}
+	queueMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	type outcome struct {
+		resp *MapResponse
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		// The mapping holds its worker tokens until it actually finishes,
+		// even if the handler has already answered 504 — that is what keeps
+		// the global budget honest.
+		defer release()
+		resp, err := s.executeMap(ctx, req, g, lib, model, granted)
+		if resp != nil {
+			s.metrics.AddCuts(resp.CutsConsidered)
+		}
+		ch <- outcome{resp, err}
+	}()
+
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			writeError(w, schedStatus(out.err), out.err)
+			return
+		}
+		out.resp.QueueMS = queueMS
+		out.resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+		writeJSON(w, http.StatusOK, out.resp)
+	case <-ctx.Done():
+		writeError(w, schedStatus(ctx.Err()), fmt.Errorf("mapping abandoned: %w", ctx.Err()))
+	}
+}
+
+// executeMap runs one mapping with the granted worker count. Each request
+// maps its own freshly decoded graph; the only shared state is the
+// registry's model (read-only) and library (internally locked memo).
+func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, lib *library.Library, model *nn.Model, workers int) (*MapResponse, error) {
+	target := req.Target
+	if target == "" {
+		target = "asic"
+	}
+	policy := req.Policy
+	if policy == "" {
+		policy = "default"
+	}
+
+	var cutPolicy cuts.Policy
+	switch policy {
+	case "default":
+		cutPolicy = cuts.DefaultPolicy{Limit: req.Limit}
+	case "unlimited":
+		cutPolicy = cuts.UnlimitedPolicy{}
+	case "shuffle":
+		cutPolicy = &cuts.ShufflePolicy{Rng: rand.New(rand.NewSource(req.Seed)), Limit: req.Limit}
+	case "slap":
+		// handled below via core.SLAP
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want default, unlimited, shuffle or slap)", policy)
+	}
+
+	resp := &MapResponse{Target: target, Workers: workers}
+	switch target {
+	case "lut":
+		var res *lutmap.Result
+		var err error
+		if policy == "slap" {
+			sl := core.New(model, lib)
+			sl.Workers = workers
+			res, err = sl.MapLUTContext(ctx, g)
+		} else {
+			res, err = lutmap.Map(g, lutmap.Options{Policy: cutPolicy, Workers: workers})
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp.Policy = res.PolicyName
+		resp.LUTs = res.NumLUTs()
+		resp.Depth = res.Depth
+		resp.CutsConsidered = res.CutsConsidered
+		return resp, nil
+	case "asic":
+		var res *mapper.Result
+		var err error
+		if policy == "slap" {
+			sl := core.New(model, lib)
+			sl.Workers = workers
+			res, err = sl.MapContext(ctx, g)
+		} else {
+			res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers})
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp.Policy = res.PolicyName
+		resp.Area = res.Area
+		resp.Delay = res.Delay
+		resp.ADP = res.ADP()
+		resp.Cells = res.Netlist.NumCells()
+		resp.CutsConsidered = res.CutsConsidered
+		resp.MatchAttempts = res.MatchAttempts
+		if req.Verify {
+			if err := res.Netlist.EquivalentTo(g, 8, rand.New(rand.NewSource(99))); err != nil {
+				return nil, fmt.Errorf("equivalence check failed: %w", err)
+			}
+			resp.Verified = true
+		}
+		switch req.Netlist {
+		case "", "none":
+		case "verilog":
+			var buf bytes.Buffer
+			if err := res.Netlist.WriteVerilog(&buf); err != nil {
+				return nil, err
+			}
+			resp.Netlist, resp.NetlistFormat = buf.String(), "verilog"
+		case "blif":
+			var buf bytes.Buffer
+			if err := res.Netlist.WriteBLIF(&buf); err != nil {
+				return nil, err
+			}
+			resp.Netlist, resp.NetlistFormat = buf.String(), "blif"
+		default:
+			return nil, fmt.Errorf("unknown netlist format %q (want verilog, blif or none)", req.Netlist)
+		}
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("unknown target %q (want asic or lut)", target)
+	}
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	req, g, status, err := s.parseRequest(w, r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, errors.New("classify requires \"model\" (see GET /v1/registry)"))
+		return
+	}
+	model, err := s.reg.Model(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	lib, err := s.reg.Library(req.Library)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+
+	t0 := time.Now()
+	granted, release, err := s.sched.Acquire(ctx, req.Workers)
+	if err != nil {
+		writeError(w, schedStatus(err), err)
+		return
+	}
+
+	type outcome struct {
+		cls *core.Classification
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer release()
+		sl := core.New(model, lib)
+		sl.Workers = granted
+		cls, err := sl.ClassifyContext(ctx, g)
+		if cls != nil {
+			s.metrics.AddCuts(cls.TotalCuts)
+		}
+		ch <- outcome{cls, err}
+	}()
+
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			writeError(w, schedStatus(out.err), out.err)
+			return
+		}
+		resp := &ClassifyResponse{
+			Model:     req.Model,
+			Nodes:     len(out.cls.Nodes),
+			Cuts:      out.cls.TotalCuts,
+			Histogram: out.cls.Histogram,
+			Workers:   granted,
+			ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+		}
+		if req.Detail {
+			resp.Detail = out.cls.Nodes
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		writeError(w, schedStatus(ctx.Err()), fmt.Errorf("classification abandoned: %w", ctx.Err()))
+	}
+}
