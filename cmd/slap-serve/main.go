@@ -12,7 +12,10 @@
 //	curl localhost:8351/healthz ; curl localhost:8351/metrics
 //
 // Endpoints: POST /v1/map, POST /v1/classify, GET /healthz, GET /metrics,
-// GET /v1/registry, POST /v1/registry/{models,libraries}, GET /debug/vars.
+// GET /v1/registry, POST /v1/registry/{models,libraries}, GET /debug/vars,
+// plus background dataset jobs that survive client disconnects:
+// POST /v1/jobs/dataset (202 + id), GET /v1/jobs, GET /v1/jobs/{id},
+// DELETE /v1/jobs/{id}.
 // On SIGINT/SIGTERM the server drains gracefully: listeners close, queued
 // requests shed with 503, and in-flight mappings run to completion.
 package main
@@ -61,18 +64,19 @@ func main() {
 		timeout   = flag.Duration("timeout", server.DefaultRequestTimeout, "default per-request timeout")
 		maxBody   = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 		drainWait = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		jobsDir   = flag.String("jobs-dir", "", "directory for dataset-job shard checkpoints (default: under the system temp dir)")
 	)
 	flag.Var(&models, "model", "model to preload, as name=path or path (repeatable)")
 	flag.Var(&libs, "lib", "genlib-like library to preload, as name=path or path (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, models, libs, *workers, *queueCap, *timeout, *maxBody, *drainWait); err != nil {
+	if err := run(*addr, models, libs, *workers, *queueCap, *timeout, *maxBody, *drainWait, *jobsDir); err != nil {
 		fmt.Fprintln(os.Stderr, "slap-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, models, libs artifactFlags, workers, queueCap int, timeout time.Duration, maxBody int64, drainWait time.Duration) error {
+func run(addr string, models, libs artifactFlags, workers, queueCap int, timeout time.Duration, maxBody int64, drainWait time.Duration, jobsDir string) error {
 	reg := server.NewRegistry()
 	for _, m := range models {
 		if err := reg.AddModelFile(m.name, m.path); err != nil {
@@ -91,6 +95,7 @@ func run(addr string, models, libs artifactFlags, workers, queueCap int, timeout
 		QueueCap:       queueCap,
 		DefaultTimeout: timeout,
 		MaxBodyBytes:   maxBody,
+		JobsDir:        jobsDir,
 	})
 	s.Metrics().PublishExpvar()
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -9,7 +11,8 @@ import (
 
 func TestRunTrainsAndSaves(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "model.gob")
-	if err := run("fast", 15, 2, 8, 1, out, true); err != nil {
+	opt := options{Profile: "fast", Maps: 15, Epochs: 2, Filters: 8, Seed: 1, Out: out, Quiet: true}
+	if err := run(context.Background(), opt); err != nil {
 		t.Fatal(err)
 	}
 	m, err := nn.LoadFile(out)
@@ -22,13 +25,57 @@ func TestRunTrainsAndSaves(t *testing.T) {
 }
 
 func TestRunRejectsBadProfile(t *testing.T) {
-	if err := run("bogus", 0, 0, 0, 1, "x.gob", true); err == nil {
+	opt := options{Profile: "bogus", Seed: 1, Out: "x.gob", Quiet: true}
+	if err := run(context.Background(), opt); err == nil {
 		t.Fatalf("bad profile accepted")
 	}
 }
 
 func TestRunRejectsUnwritableOutput(t *testing.T) {
-	if err := run("fast", 10, 1, 8, 1, "/nonexistent-dir/model.gob", true); err == nil {
+	opt := options{Profile: "fast", Maps: 10, Epochs: 1, Filters: 8, Seed: 1,
+		Out: "/nonexistent-dir/model.gob", Quiet: true}
+	if err := run(context.Background(), opt); err == nil {
 		t.Fatalf("unwritable output accepted")
+	}
+}
+
+// TestRunShardedAndResume trains once through the sharded generation path,
+// then re-runs with -resume: the second run must reuse every checkpointed
+// shard (no regeneration) and produce a loadable model.
+func TestRunShardedAndResume(t *testing.T) {
+	dir := t.TempDir()
+	sweep := filepath.Join(dir, "sweep")
+	out := filepath.Join(dir, "model.gob")
+	opt := options{
+		Profile: "fast", Maps: 8, Epochs: 1, Filters: 8, Seed: 1,
+		Out: out, Quiet: true, Shards: 3, OutDir: sweep,
+	}
+	if err := run(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nn.LoadFile(out); err != nil {
+		t.Fatalf("sharded run produced unreadable model: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(sweep, "manifest.jsonl")); err != nil {
+		t.Fatalf("sharded run left no manifest: %v", err)
+	}
+
+	// Resume with everything already done: shards are reused, training
+	// still succeeds, and the model is rewritten.
+	opt.Resume = true
+	opt.Out = filepath.Join(dir, "model2.gob")
+	if err := run(context.Background(), opt); err != nil {
+		t.Fatalf("resume over a complete sweep: %v", err)
+	}
+	if _, err := nn.LoadFile(opt.Out); err != nil {
+		t.Fatalf("resumed run produced unreadable model: %v", err)
+	}
+}
+
+func TestRunShardedRequiresOutDir(t *testing.T) {
+	opt := options{Profile: "fast", Maps: 8, Epochs: 1, Filters: 8, Seed: 1,
+		Out: "x.gob", Quiet: true, Shards: 2}
+	if err := run(context.Background(), opt); err == nil {
+		t.Fatal("-shards without -out-dir accepted")
 	}
 }

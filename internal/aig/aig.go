@@ -11,7 +11,10 @@
 // iterating node ids ascending is a valid topological traversal.
 package aig
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Lit is an edge literal: 2*node + complement bit.
 type Lit uint32
@@ -78,9 +81,20 @@ type AIG struct {
 
 	strash map[[2]Lit]uint32
 
-	// Lazily computed structural annotations; nil when stale.
-	levels  []int32
-	rlevels []int32
+	// Lazily computed structural annotations, published atomically so
+	// concurrent read-only users — e.g. parallel random mappings of one
+	// shared training graph — neither race with each other nor with the
+	// first computation; nil (cleared on mutation) when stale. Duplicate
+	// concurrent computes are harmless: the build is deterministic, so
+	// whichever publication wins carries identical contents.
+	levels  atomic.Pointer[[]int32]
+	rlevels atomic.Pointer[[]int32]
+	fan     atomic.Pointer[fanoutAnnot]
+}
+
+// fanoutAnnot bundles the two fanout-derived annotations that are
+// computed by one pass and must publish together.
+type fanoutAnnot struct {
 	fanouts []int32
 	invOut  []bool
 }
@@ -230,28 +244,32 @@ func (g *AIG) OrN(ls []Lit) Lit {
 }
 
 func (g *AIG) invalidate() {
-	g.levels = nil
-	g.rlevels = nil
-	g.fanouts = nil
-	g.invOut = nil
+	g.levels.Store(nil)
+	g.rlevels.Store(nil)
+	g.fan.Store(nil)
+}
+
+// levelSlice returns the level annotation, computing and publishing it on
+// first use.
+func (g *AIG) levelSlice() []int32 {
+	if p := g.levels.Load(); p != nil {
+		return *p
+	}
+	ls := g.computeLevels()
+	g.levels.Store(&ls)
+	return ls
 }
 
 // Level returns the longest structural path from any PI to node n,
 // inclusive. PIs and the constant node have level 0.
 func (g *AIG) Level(n uint32) int32 {
-	if g.levels == nil {
-		g.computeLevels()
-	}
-	return g.levels[n]
+	return g.levelSlice()[n]
 }
 
 // MaxLevel returns the depth of the graph (largest node level).
 func (g *AIG) MaxLevel() int32 {
-	if g.levels == nil {
-		g.computeLevels()
-	}
 	var m int32
-	for _, l := range g.levels {
+	for _, l := range g.levelSlice() {
 		if l > m {
 			m = l
 		}
@@ -259,89 +277,101 @@ func (g *AIG) MaxLevel() int32 {
 	return m
 }
 
-func (g *AIG) computeLevels() {
-	g.levels = make([]int32, len(g.nodes))
+func (g *AIG) computeLevels() []int32 {
+	levels := make([]int32, len(g.nodes))
 	for i := 1; i < len(g.nodes); i++ {
 		nd := &g.nodes[i]
 		if nd.typ != typeAnd {
 			continue
 		}
-		l0 := g.levels[nd.f0.Node()]
-		l1 := g.levels[nd.f1.Node()]
+		l0 := levels[nd.f0.Node()]
+		l1 := levels[nd.f1.Node()]
 		if l1 > l0 {
 			l0 = l1
 		}
-		g.levels[i] = l0 + 1
+		levels[i] = l0 + 1
 	}
+	return levels
 }
 
 // ReverseLevel returns the longest structural path from node n to any PO.
 // A node directly driving a PO (and nothing else) has reverse level 0.
 func (g *AIG) ReverseLevel(n uint32) int32 {
-	if g.rlevels == nil {
-		g.computeReverseLevels()
+	if p := g.rlevels.Load(); p != nil {
+		return (*p)[n]
 	}
-	return g.rlevels[n]
+	rl := g.computeReverseLevels()
+	g.rlevels.Store(&rl)
+	return rl[n]
 }
 
-func (g *AIG) computeReverseLevels() {
-	g.rlevels = make([]int32, len(g.nodes))
+func (g *AIG) computeReverseLevels() []int32 {
+	rlevels := make([]int32, len(g.nodes))
 	// Reverse topological order: nodes are in topo order, walk backwards.
 	for i := len(g.nodes) - 1; i >= 1; i-- {
 		nd := &g.nodes[i]
 		if nd.typ != typeAnd {
 			continue
 		}
-		r := g.rlevels[i] + 1
+		r := rlevels[i] + 1
 		for _, f := range [2]Lit{nd.f0, nd.f1} {
 			fn := f.Node()
-			if r > g.rlevels[fn] {
-				g.rlevels[fn] = r
+			if r > rlevels[fn] {
+				rlevels[fn] = r
 			}
 		}
 	}
+	return rlevels
+}
+
+// fanAnnot returns the fanout annotations, computing and publishing them
+// on first use.
+func (g *AIG) fanAnnot() *fanoutAnnot {
+	if p := g.fan.Load(); p != nil {
+		return p
+	}
+	fa := g.computeFanouts()
+	g.fan.Store(fa)
+	return fa
 }
 
 // Fanout returns the number of fanout edges of node n, counting both AND
 // fanins and primary outputs.
 func (g *AIG) Fanout(n uint32) int32 {
-	if g.fanouts == nil {
-		g.computeFanouts()
-	}
-	return g.fanouts[n]
+	return g.fanAnnot().fanouts[n]
 }
 
 // HasInvertedFanout reports whether some fanout edge (AND fanin or PO)
 // references node n complemented. This is the inv(e0) feature of the paper's
 // node embedding.
 func (g *AIG) HasInvertedFanout(n uint32) bool {
-	if g.invOut == nil {
-		g.computeFanouts()
-	}
-	return g.invOut[n]
+	return g.fanAnnot().invOut[n]
 }
 
-func (g *AIG) computeFanouts() {
-	g.fanouts = make([]int32, len(g.nodes))
-	g.invOut = make([]bool, len(g.nodes))
+func (g *AIG) computeFanouts() *fanoutAnnot {
+	fa := &fanoutAnnot{
+		fanouts: make([]int32, len(g.nodes)),
+		invOut:  make([]bool, len(g.nodes)),
+	}
 	for i := 1; i < len(g.nodes); i++ {
 		nd := &g.nodes[i]
 		if nd.typ != typeAnd {
 			continue
 		}
 		for _, f := range [2]Lit{nd.f0, nd.f1} {
-			g.fanouts[f.Node()]++
+			fa.fanouts[f.Node()]++
 			if f.IsCompl() {
-				g.invOut[f.Node()] = true
+				fa.invOut[f.Node()] = true
 			}
 		}
 	}
 	for _, po := range g.pos {
-		g.fanouts[po.Lit.Node()]++
+		fa.fanouts[po.Lit.Node()]++
 		if po.Lit.IsCompl() {
-			g.invOut[po.Lit.Node()] = true
+			fa.invOut[po.Lit.Node()] = true
 		}
 	}
+	return fa
 }
 
 // Simulate evaluates the graph on 64 input patterns at once. piValues[i]

@@ -114,6 +114,10 @@ type TrainOptions struct {
 	// Metric selects the QoR metric that labels training cuts (default:
 	// delay, as in the paper; area and ADP are supported per §IV-B).
 	Metric dataset.Metric
+	// Dataset, when set, skips data generation entirely and trains on the
+	// provided samples — the hand-off point for genjob's sharded,
+	// fault-tolerant sweeps (slap-train -shards / -resume).
+	Dataset *dataset.Dataset
 	// Verbose prints per-epoch progress.
 	Verbose bool
 }
@@ -163,15 +167,21 @@ func Train(opt TrainOptions) (*SLAP, *TrainReport, error) {
 		valFrac = 0.2
 	}
 
-	ds, err := dataset.Generate(dataset.Config{
-		Circuits:       circuitsList,
-		Library:        opt.Library,
-		MapsPerCircuit: maps,
-		Seed:           opt.Seed,
-		Metric:         opt.Metric,
-	})
-	if err != nil {
-		return nil, nil, err
+	ds := opt.Dataset
+	if ds == nil {
+		var err error
+		ds, err = dataset.Generate(dataset.Config{
+			Circuits:       circuitsList,
+			Library:        opt.Library,
+			MapsPerCircuit: maps,
+			Seed:           opt.Seed,
+			Metric:         opt.Metric,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if ds.Len() == 0 {
+		return nil, nil, fmt.Errorf("core: TrainOptions.Dataset is empty")
 	}
 	train, val := ds.Split(1-valFrac, opt.Seed+1)
 

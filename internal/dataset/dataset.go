@@ -4,11 +4,24 @@
 // and every cut used in the final cover becomes one datapoint whose label
 // is the mapping's delay decile (class 0 = fastest mappings, class 9 =
 // slowest).
+//
+// The sweep is shard-granular: GenerateOutcomes runs any contiguous range
+// of one circuit's mappings and Assemble reassembles per-circuit outcome
+// slices into the final dataset. Generate is the single-process
+// composition of the two; internal/genjob composes them into a
+// fault-tolerant, resumable multi-shard runner. Because labelling
+// normalises over a circuit's full QoR distribution, the split is
+// deterministic: the same master seed always yields the same dataset no
+// matter how the sweep was sharded.
 package dataset
 
 import (
+	"context"
+	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 
@@ -39,6 +52,55 @@ func (d *Dataset) ClassHistogram() []int {
 		h[y]++
 	}
 	return h
+}
+
+// Save serialises the dataset with encoding/gob.
+func (d *Dataset) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Load deserialises a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: decoding: %w", err)
+	}
+	if len(d.X) != len(d.Y) {
+		return nil, fmt.Errorf("dataset: %d inputs but %d labels", len(d.X), len(d.Y))
+	}
+	for _, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return nil, fmt.Errorf("dataset: label %d out of range [0,%d)", y, d.Classes)
+		}
+	}
+	return &d, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	d, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load %s: %w", path, err)
+	}
+	return d, nil
 }
 
 // Balanced returns a class-balanced resampling of the dataset: every class
@@ -77,8 +139,16 @@ func (d *Dataset) Balanced(seed int64) *Dataset {
 }
 
 // Split partitions the dataset into train/validation subsets after a
-// seeded shuffle. frac is the training fraction (e.g. 0.8).
+// seeded shuffle. frac is the training fraction (e.g. 0.8); it is clamped
+// to [0, 1], so frac 0 yields an empty training set and frac 1 an empty
+// validation set.
 func (d *Dataset) Split(frac float64, seed int64) (train, val *Dataset) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
 	order := make([]int, d.Len())
 	for i := range order {
 		order[i] = i
@@ -121,6 +191,12 @@ type Config struct {
 	Workers int
 	// Metric selects the label metric (default MetricDelay).
 	Metric Metric
+	// MaxFailures is the number of failed mappings tolerated across the
+	// whole sweep. Failed mappings become Skipped outcomes: they contribute
+	// no samples and are excluded from label normalisation. Assemble aborts
+	// once more than MaxFailures mappings were skipped, so the default of 0
+	// preserves the historical fail-on-first-error behaviour.
+	MaxFailures int
 }
 
 // DefaultShuffleLimit is the per-node cut budget used for random-shuffle
@@ -150,42 +226,183 @@ func (m Metric) String() string {
 	}
 }
 
-// mapOutcome is one random mapping's harvest.
-type mapOutcome struct {
-	qor     float64
-	samples [][]float64
+// MapOutcome is one random mapping's harvest: the QoR figure that will
+// label its cuts and the embeddings of the cuts used in its cover. A
+// Skipped outcome records a tolerated mapping failure (Err keeps the
+// message); it carries no samples and does not enter label normalisation.
+type MapOutcome struct {
+	QoR     float64
+	Samples [][]float64
+	Skipped bool
+	Err     string
 }
 
-// Generate runs the random mappings and returns the labelled dataset.
-func Generate(cfg Config) (*Dataset, error) {
+// Normalize validates the config and returns a copy with every zero-value
+// default filled in. Shard runners normalize before planning so that a
+// resumed run agrees with the original about Classes and ShuffleLimit no
+// matter which were spelled explicitly.
+func (cfg Config) Normalize() (Config, error) { return cfg.withDefaults() }
+
+// withDefaults validates cfg and fills the zero-value defaults in place.
+func (cfg Config) withDefaults() (Config, error) {
 	if len(cfg.Circuits) == 0 {
-		return nil, fmt.Errorf("dataset: no training circuits")
+		return cfg, fmt.Errorf("dataset: no training circuits")
 	}
 	if cfg.Library == nil {
-		return nil, fmt.Errorf("dataset: library is required")
+		return cfg, fmt.Errorf("dataset: library is required")
 	}
 	if cfg.MapsPerCircuit <= 0 {
-		return nil, fmt.Errorf("dataset: MapsPerCircuit must be positive")
+		return cfg, fmt.Errorf("dataset: MapsPerCircuit must be positive")
 	}
-	classes := cfg.Classes
-	if classes == 0 {
-		classes = 10
+	if cfg.Classes == 0 {
+		cfg.Classes = 10
+	}
+	if cfg.Classes < 0 {
+		return cfg, fmt.Errorf("dataset: Classes must be positive")
 	}
 	if cfg.ShuffleLimit == 0 {
 		cfg.ShuffleLimit = DefaultShuffleLimit
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	return cfg, nil
+}
 
-	ds := &Dataset{Classes: classes}
+// circuitSeed derives the per-circuit seed base from the master seed. The
+// per-mapping policy seed is circuitSeed + map index, which is what makes
+// any contiguous mapping range reproducible in isolation.
+func circuitSeed(master int64, circuit int) int64 {
+	return master + int64(circuit)*1_000_003
+}
+
+// Generate runs the random mappings and returns the labelled dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	all := make([][]MapOutcome, len(cfg.Circuits))
 	for ci, g := range cfg.Circuits {
-		outcomes, err := runRandomMaps(g, cfg, workers, cfg.Seed+int64(ci)*1_000_003)
+		outcomes, err := GenerateOutcomes(context.Background(), cfg, ci, 0, cfg.MapsPerCircuit)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: circuit %s: %w", g.Name, err)
 		}
-		labelOutcomes(ds, outcomes, classes)
+		all[ci] = outcomes
+	}
+	return Assemble(cfg, all)
+}
+
+// GenerateOutcomes runs the mappings [start, end) of one circuit's
+// random-shuffle sweep and returns their outcomes in map-index order. A
+// mapping failure does not abort the range: it is recorded as a Skipped
+// outcome and accounted against Config.MaxFailures later, at Assemble.
+// The result depends only on (cfg.Seed, circuit, map index), never on
+// start/end or Workers, so a sweep may be cut into shards freely.
+func GenerateOutcomes(ctx context.Context, cfg Config, circuit, start, end int) ([]MapOutcome, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if circuit < 0 || circuit >= len(cfg.Circuits) {
+		return nil, fmt.Errorf("dataset: circuit index %d out of range [0,%d)", circuit, len(cfg.Circuits))
+	}
+	if start < 0 || end > cfg.MapsPerCircuit || start >= end {
+		return nil, fmt.Errorf("dataset: map range [%d,%d) invalid for %d maps", start, end, cfg.MapsPerCircuit)
+	}
+	g := cfg.Circuits[circuit]
+	seed := circuitSeed(cfg.Seed, circuit)
+
+	outcomes := make([]MapOutcome, end-start)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := start; i < end; i++ {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			outcomes[i-start] = runOneMap(g, cfg, seed+int64(i))
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}
+
+// runOneMap executes one random-shuffle mapping and harvests its cuts.
+func runOneMap(g *aig.AIG, cfg Config, policySeed int64) MapOutcome {
+	policy := &cuts.ShufflePolicy{
+		Rng:   rand.New(rand.NewSource(policySeed)),
+		Limit: cfg.ShuffleLimit,
+	}
+	// Workers: 1 — the mappings themselves already saturate the worker
+	// pool, and the shuffle policy's RNG sequence requires sequential
+	// enumeration anyway.
+	res, err := mapper.Map(g, mapper.Options{Library: cfg.Library, Policy: policy, Workers: 1})
+	if err != nil {
+		return MapOutcome{Skipped: true, Err: err.Error()}
+	}
+	emb := embed.NewEmbedder(g)
+	samples := make([][]float64, 0, len(res.Cover))
+	for _, ce := range res.Cover {
+		samples = append(samples, emb.Cut(ce.Node, &ce.Cut))
+	}
+	var qor float64
+	switch cfg.Metric {
+	case MetricArea:
+		qor = res.Area
+	case MetricADP:
+		qor = res.ADP()
+	default:
+		qor = res.Delay
+	}
+	return MapOutcome{QoR: qor, Samples: samples}
+}
+
+// Assemble labels per-circuit outcome slices and concatenates them into
+// the final dataset, producing exactly what a single-process Generate
+// with the same Config would have. outcomes must hold one complete
+// MapsPerCircuit-long slice per circuit, in circuit order: labelling
+// normalises over each circuit's full QoR distribution, so it can only
+// run once every outcome of that circuit is present. More than
+// cfg.MaxFailures skipped outcomes abort the assembly.
+func Assemble(cfg Config, outcomes [][]MapOutcome) (*Dataset, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(outcomes) != len(cfg.Circuits) {
+		return nil, fmt.Errorf("dataset: %d outcome slices for %d circuits", len(outcomes), len(cfg.Circuits))
+	}
+	skipped, firstErr := 0, ""
+	for ci, o := range outcomes {
+		if len(o) != cfg.MapsPerCircuit {
+			return nil, fmt.Errorf("dataset: circuit %d has %d outcomes, want %d", ci, len(o), cfg.MapsPerCircuit)
+		}
+		for _, mo := range o {
+			if mo.Skipped {
+				skipped++
+				if firstErr == "" {
+					firstErr = mo.Err
+				}
+			}
+		}
+	}
+	if skipped > cfg.MaxFailures {
+		if firstErr == "" {
+			firstErr = "unknown"
+		}
+		return nil, fmt.Errorf("dataset: %d mappings failed (tolerance %d), first: %s",
+			skipped, cfg.MaxFailures, firstErr)
+	}
+	ds := &Dataset{Classes: cfg.Classes}
+	for _, o := range outcomes {
+		labelOutcomes(ds, o, cfg.Classes)
 	}
 	if ds.Len() == 0 {
 		return nil, fmt.Errorf("dataset: no samples generated")
@@ -193,79 +410,46 @@ func Generate(cfg Config) (*Dataset, error) {
 	return ds, nil
 }
 
-func runRandomMaps(g *aig.AIG, cfg Config, workers int, seed int64) ([]mapOutcome, error) {
-	outcomes := make([]mapOutcome, cfg.MapsPerCircuit)
-	errs := make([]error, cfg.MapsPerCircuit)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < cfg.MapsPerCircuit; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			policy := &cuts.ShufflePolicy{
-				Rng:   rand.New(rand.NewSource(seed + int64(i))),
-				Limit: cfg.ShuffleLimit,
-			}
-			// Workers: 1 — the mappings themselves already saturate the
-			// worker pool, and the shuffle policy's RNG sequence requires
-			// sequential enumeration anyway.
-			res, err := mapper.Map(g, mapper.Options{Library: cfg.Library, Policy: policy, Workers: 1})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			emb := embed.NewEmbedder(g)
-			samples := make([][]float64, 0, len(res.Cover))
-			for _, ce := range res.Cover {
-				samples = append(samples, emb.Cut(ce.Node, &ce.Cut))
-			}
-			var qor float64
-			switch cfg.Metric {
-			case MetricArea:
-				qor = res.Area
-			case MetricADP:
-				qor = res.ADP()
-			default:
-				qor = res.Delay
-			}
-			outcomes[i] = mapOutcome{qor: qor, samples: samples}
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return outcomes, nil
-}
-
 // labelOutcomes converts mapping QoR values to class labels. The paper
 // normalises each cut's label by the circuit's delay distribution; we use
 // min-max normalisation into `classes` deciles so all classes are populated
 // (pure max-normalisation would collapse everything into the top deciles —
-// see DESIGN.md).
-func labelOutcomes(ds *Dataset, outcomes []mapOutcome, classes int) {
-	minQ, maxQ := outcomes[0].qor, outcomes[0].qor
+// see DESIGN.md). Skipped outcomes are excluded from both the
+// normalisation span and the output.
+func labelOutcomes(ds *Dataset, outcomes []MapOutcome, classes int) {
+	first := true
+	var minQ, maxQ float64
 	for _, o := range outcomes {
-		if o.qor < minQ {
-			minQ = o.qor
+		if o.Skipped {
+			continue
 		}
-		if o.qor > maxQ {
-			maxQ = o.qor
+		if first {
+			minQ, maxQ = o.QoR, o.QoR
+			first = false
 		}
+		if o.QoR < minQ {
+			minQ = o.QoR
+		}
+		if o.QoR > maxQ {
+			maxQ = o.QoR
+		}
+	}
+	if first {
+		return // every mapping of this circuit was skipped
 	}
 	span := maxQ - minQ
 	for _, o := range outcomes {
+		if o.Skipped {
+			continue
+		}
 		label := 0
 		if span > 0 {
-			label = int(float64(classes) * (o.qor - minQ) / span)
+			label = int(float64(classes) * (o.QoR - minQ) / span)
 			if label >= classes {
 				label = classes - 1
 			}
 		}
-		for _, x := range o.samples {
+		for _, x := range o.Samples {
 			ds.X = append(ds.X, x)
 			ds.Y = append(ds.Y, label)
 		}

@@ -1,0 +1,292 @@
+package genjob
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"slap/internal/dataset"
+)
+
+// Shard files are self-verifying: a fixed header carries the shard id,
+// the payload length and the payload's SHA-256, so truncation, bit flips
+// and cross-job mixups are all detected before a byte of payload is
+// trusted. The payload is the gob-encoded shardPayload.
+const (
+	shardMagic      = "SLAPSHD1"
+	shardHeaderSize = len(shardMagic) + 4 + 8 + sha256.Size
+	// maxShardPayload bounds a single shard file so a corrupt length
+	// field cannot drive an absurd allocation.
+	maxShardPayload = 1 << 31
+)
+
+// shardPayload is the persisted result of one executed shard.
+type shardPayload struct {
+	Spec        Spec
+	Fingerprint string
+	Outcomes    []dataset.MapOutcome
+}
+
+// shardFileName names shard i's file within the job directory.
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.bin", i) }
+
+// encodeShard serialises a shard payload and returns (bytes, sha256 hex).
+func encodeShard(p *shardPayload) ([]byte, string, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, "", fmt.Errorf("genjob: encoding shard %d: %w", p.Spec.Shard, err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return buf.Bytes(), hex.EncodeToString(sum[:]), nil
+}
+
+// writeShardFile persists an encoded shard payload. The write is atomic
+// (temp file + rename) so a crash mid-write leaves a stray .tmp file,
+// never a plausible-looking half shard. truncateAt > 0 is the
+// fault-injection path: it writes only that many payload bytes directly
+// to the final path, simulating a kill mid-write or a torn copy.
+func writeShardFile(path string, shard int, payload []byte, truncateAt int) error {
+	sum := sha256.Sum256(payload)
+	var hdr bytes.Buffer
+	hdr.WriteString(shardMagic)
+	binary.Write(&hdr, binary.BigEndian, uint32(shard))
+	binary.Write(&hdr, binary.BigEndian, uint64(len(payload)))
+	hdr.Write(sum[:])
+
+	if truncateAt > 0 && truncateAt < len(payload) {
+		return os.WriteFile(path, append(hdr.Bytes(), payload[:truncateAt]...), 0o644)
+	}
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(hdr.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readShardFile loads and fully verifies one shard file: magic, shard id,
+// length, payload checksum, gob decode, and spec/fingerprint agreement.
+// Any mismatch is an error — a shard that fails here is re-run, never
+// merged.
+func readShardFile(path string, want Spec, fingerprint string) (*shardPayload, string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(b) < shardHeaderSize {
+		return nil, "", fmt.Errorf("genjob: %s: truncated header (%d bytes)", path, len(b))
+	}
+	if string(b[:len(shardMagic)]) != shardMagic {
+		return nil, "", fmt.Errorf("genjob: %s: bad magic", path)
+	}
+	off := len(shardMagic)
+	gotShard := binary.BigEndian.Uint32(b[off:])
+	off += 4
+	plen := binary.BigEndian.Uint64(b[off:])
+	off += 8
+	wantSum := b[off : off+sha256.Size]
+	off += sha256.Size
+	if gotShard != uint32(want.Shard) {
+		return nil, "", fmt.Errorf("genjob: %s: holds shard %d, want %d", path, gotShard, want.Shard)
+	}
+	if plen > maxShardPayload {
+		return nil, "", fmt.Errorf("genjob: %s: absurd payload length %d", path, plen)
+	}
+	payload := b[off:]
+	if uint64(len(payload)) != plen {
+		return nil, "", fmt.Errorf("genjob: %s: payload is %d bytes, header says %d (truncated or padded)",
+			path, len(payload), plen)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], wantSum) {
+		return nil, "", fmt.Errorf("genjob: %s: payload checksum mismatch", path)
+	}
+	var p shardPayload
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return nil, "", fmt.Errorf("genjob: %s: decoding payload: %w", path, err)
+	}
+	if p.Spec != want {
+		return nil, "", fmt.Errorf("genjob: %s: spec %+v, want %+v", path, p.Spec, want)
+	}
+	if p.Fingerprint != fingerprint {
+		return nil, "", fmt.Errorf("genjob: %s: config fingerprint mismatch (different job?)", path)
+	}
+	if n := len(p.Outcomes); n != want.End-want.Start {
+		return nil, "", fmt.Errorf("genjob: %s: %d outcomes, want %d", path, n, want.End-want.Start)
+	}
+	return &p, hex.EncodeToString(sum[:]), nil
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+// manifestName is the append-only JSON-lines journal of a job directory.
+// Line 1 is the job header; every later line is a shard lifecycle entry.
+// The last entry for a shard wins, so appending is the only write mode a
+// crashed run ever needed to get resume right.
+const manifestName = "manifest.jsonl"
+
+// manifestHeader pins a job directory to one exact sweep configuration.
+type manifestHeader struct {
+	Job         string `json:"job"` // format tag, "slap-genjob/1"
+	Fingerprint string `json:"fingerprint"`
+	Shards      int    `json:"shards"`
+}
+
+const manifestJobTag = "slap-genjob/1"
+
+// manifestEntry records one shard outcome.
+type manifestEntry struct {
+	Shard    int    `json:"shard"`
+	Status   string `json:"status"` // "done" or "failed"
+	File     string `json:"file,omitempty"`
+	SHA      string `json:"sha256,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// manifest is the open journal plus its replayed state.
+type manifest struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[int]manifestEntry // last entry per shard
+}
+
+// openManifest opens (or creates) the journal under dir, replays it, and
+// checks it belongs to this job. resume gates reuse: without it an
+// existing manifest is an error, so two different sweeps cannot silently
+// interleave in one directory.
+func openManifest(dir, fingerprint string, shards int, resume bool) (*manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	existing, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if !resume {
+			return nil, fmt.Errorf("genjob: %s already holds a run; enable resume or use a fresh directory", dir)
+		}
+	case os.IsNotExist(err):
+		existing = nil
+	default:
+		return nil, err
+	}
+
+	m := &manifest{entries: make(map[int]manifestEntry)}
+	if len(existing) > 0 {
+		sc := bufio.NewScanner(bytes.NewReader(existing))
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		first := true
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			if first {
+				first = false
+				var h manifestHeader
+				if err := json.Unmarshal([]byte(line), &h); err != nil || h.Job != manifestJobTag {
+					return nil, fmt.Errorf("genjob: %s: not a genjob manifest", path)
+				}
+				if h.Fingerprint != fingerprint {
+					return nil, fmt.Errorf("genjob: %s was written by a different sweep config; refusing to resume", path)
+				}
+				if h.Shards != shards {
+					return nil, fmt.Errorf("genjob: %s plans %d shards, this run plans %d", path, h.Shards, shards)
+				}
+				continue
+			}
+			var e manifestEntry
+			if err := json.Unmarshal([]byte(line), &e); err != nil {
+				// A torn final line is exactly what a SIGKILL mid-append
+				// leaves behind; the shard it described simply re-runs.
+				continue
+			}
+			m.entries[e.Shard] = e
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	m.f = f
+	if len(existing) == 0 {
+		if err := m.appendJSON(manifestHeader{Job: manifestJobTag, Fingerprint: fingerprint, Shards: shards}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *manifest) appendJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return m.f.Sync()
+}
+
+// record appends a shard entry and updates the replayed state.
+func (m *manifest) record(e manifestEntry) error {
+	if err := m.appendJSON(e); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.entries[e.Shard] = e
+	m.mu.Unlock()
+	return nil
+}
+
+// entry returns the last recorded entry for a shard.
+func (m *manifest) entry(shard int) (manifestEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[shard]
+	return e, ok
+}
+
+func (m *manifest) close() error { return m.f.Close() }
+
+// fingerprintConfig canonically hashes the sweep parameters that determine
+// the dataset bytes, so a resumed run cannot silently mix shards from two
+// different sweeps. Workers and failure knobs are deliberately excluded:
+// they change scheduling, not results.
+func fingerprintConfig(cfg dataset.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "seed=%d|maps=%d|classes=%d|limit=%d|metric=%s|circuits=%d",
+		cfg.Seed, cfg.MapsPerCircuit, cfg.Classes, cfg.ShuffleLimit, cfg.Metric, len(cfg.Circuits))
+	for _, g := range cfg.Circuits {
+		fmt.Fprintf(h, "|%s/%d/%d/%d", g.Name, g.NumNodes(), g.NumPIs(), g.NumPOs())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

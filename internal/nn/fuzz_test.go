@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// modelBytes serialises a small valid model for corpus seeding.
+func modelBytes(t testing.TB) []byte {
+	t.Helper()
+	m := NewModel(15, 10, 8, 10, rand.New(rand.NewSource(1)))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad feeds arbitrary bytes — seeded with a valid model, its
+// truncations, and garbage — into Load. The invariant is simple: Load
+// either returns a shape-valid model or an error; it never panics and
+// never lets a damaged header force absurd allocations.
+func FuzzLoad(f *testing.F) {
+	valid := modelBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:1])
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream at all"))
+	// A valid prefix with flipped tail bytes mimics disk corruption.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-4] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := m.validate(); err != nil {
+			t.Fatalf("Load returned an invalid model: %v", err)
+		}
+	})
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	valid := modelBytes(t)
+	for _, n := range []int{0, 1, len(valid) / 4, len(valid) / 2, len(valid) - 1} {
+		if _, err := Load(bytes.NewReader(valid[:n])); err == nil {
+			t.Errorf("Load accepted a model truncated to %d of %d bytes", n, len(valid))
+		}
+	}
+}
+
+// TestLoadRejectsAbsurdDims builds a gob stream whose header claims huge
+// dimensions with tiny weight slices: validate must reject it by bound
+// check, not by attempting Filters*Cols*Classes-sized work.
+func TestLoadRejectsAbsurdDims(t *testing.T) {
+	m := &Model{
+		Rows: 1 << 20, Cols: 1 << 20, Filters: 1 << 20, Classes: 1 << 20,
+		ConvW: []float64{1}, ConvB: []float64{1},
+		DenseW: []float64{1}, DenseB: []float64{1},
+		Mean: []float64{0}, Std: []float64{1},
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err == nil {
+		t.Fatalf("Load accepted model claiming %dx%d shape", got.Rows, got.Cols)
+	}
+	if !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("want bound-check rejection, got: %v", err)
+	}
+}
+
+func TestLoadRejectsBadNormalisation(t *testing.T) {
+	for name, mutate := range map[string]func(*Model){
+		"zero std":     func(m *Model) { m.Std[3] = 0 },
+		"negative std": func(m *Model) { m.Std[0] = -1 },
+		"nan std":      func(m *Model) { m.Std[1] = math.NaN() },
+		"inf weight":   func(m *Model) { m.ConvW[0] = math.Inf(1) },
+		"nan weight":   func(m *Model) { m.DenseW[2] = math.NaN() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := NewModel(15, 10, 8, 10, rand.New(rand.NewSource(1)))
+			mutate(m)
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(&buf); err == nil {
+				t.Error("Load accepted a model with broken normalisation/weights")
+			}
+		})
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	m := NewModel(15, 10, 8, 10, rand.New(rand.NewSource(42)))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumParams() != m.NumParams() || got.Classes != m.Classes {
+		t.Errorf("round-trip changed shape: %d params %d classes, want %d/%d",
+			got.NumParams(), got.Classes, m.NumParams(), m.Classes)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -12,11 +13,27 @@ func (m *Model) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(m)
 }
 
+// MaxModelBytes bounds how much a single serialised model may occupy.
+// The real SLAP classifier is ≈15k parameters (~1 MiB of gob), so 64 MiB
+// leaves two orders of magnitude of headroom while stopping a corrupt or
+// hostile stream from ballooning memory during decode.
+const MaxModelBytes = 64 << 20
+
 // Load deserialises a model written by Save and validates its shape.
+// Corrupted, truncated or oversized inputs return an error — never a
+// panic, and never an attempt to allocate the absurd dimensions a
+// damaged header may claim.
 func Load(r io.Reader) (*Model, error) {
+	lr := &io.LimitedReader{R: r, N: MaxModelBytes + 1}
 	var m Model
-	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+	if err := gob.NewDecoder(lr).Decode(&m); err != nil {
+		if lr.N <= 0 {
+			return nil, fmt.Errorf("nn: model exceeds %d bytes: %w", MaxModelBytes, err)
+		}
 		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	if lr.N <= 0 {
+		return nil, fmt.Errorf("nn: model exceeds %d bytes", MaxModelBytes)
 	}
 	if err := m.validate(); err != nil {
 		return nil, err
@@ -53,10 +70,27 @@ func LoadFile(path string) (*Model, error) {
 	return m, nil
 }
 
+// Dimension ceilings for validate(). The paper's network is 15×10 with
+// 128 filters and 10 classes; these caps allow generous experimentation
+// while rejecting the garbage dimensions a corrupted gob stream can
+// claim (which would otherwise drive huge allocations downstream).
+const (
+	maxModelRows    = 1 << 12
+	maxModelCols    = 1 << 12
+	maxModelFilters = 1 << 16
+	maxModelClasses = 1 << 16
+)
+
 func (m *Model) validate() error {
 	if m.Rows <= 0 || m.Cols <= 0 || m.Filters <= 0 || m.Classes <= 0 {
 		return fmt.Errorf("nn: invalid model shape %dx%d filters=%d classes=%d",
 			m.Rows, m.Cols, m.Filters, m.Classes)
+	}
+	if m.Rows > maxModelRows || m.Cols > maxModelCols ||
+		m.Filters > maxModelFilters || m.Classes > maxModelClasses {
+		return fmt.Errorf("nn: implausible model shape %dx%d filters=%d classes=%d (limits %dx%d filters=%d classes=%d)",
+			m.Rows, m.Cols, m.Filters, m.Classes,
+			maxModelRows, maxModelCols, maxModelFilters, maxModelClasses)
 	}
 	checks := []struct {
 		name string
@@ -73,6 +107,20 @@ func (m *Model) validate() error {
 	for _, c := range checks {
 		if c.got != c.want {
 			return fmt.Errorf("nn: %s has %d entries, want %d", c.name, c.got, c.want)
+		}
+	}
+	// Std divides every input feature; zero, negative, NaN or Inf entries
+	// would poison all downstream activations.
+	for i, s := range m.Std {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return fmt.Errorf("nn: Std[%d] = %v, want positive and finite", i, s)
+		}
+	}
+	for _, w := range [][]float64{m.ConvW, m.ConvB, m.DenseW, m.DenseB, m.Mean} {
+		for i, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("nn: non-finite weight %v at index %d", v, i)
+			}
 		}
 	}
 	return nil

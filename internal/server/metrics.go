@@ -32,6 +32,10 @@ type Metrics struct {
 	latencyCount int64
 	cutsTotal    int64
 	mapsTotal    int64
+	panicsTotal  int64
+	// degraded reports current degradation reasons (nil = never degraded);
+	// set once at server assembly, read at scrape time.
+	degraded func() []string
 }
 
 // NewMetrics returns a Metrics bound to the scheduler's gauges.
@@ -70,6 +74,25 @@ func (m *Metrics) AddCuts(n int) {
 	m.mapsTotal++
 }
 
+// AddPanic counts one recovered handler or worker panic.
+func (m *Metrics) AddPanic() {
+	m.mu.Lock()
+	m.panicsTotal++
+	m.mu.Unlock()
+}
+
+// Panics returns the recovered-panic count.
+func (m *Metrics) Panics() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.panicsTotal
+}
+
+// SetDegradedFunc installs the callback that reports current degradation
+// reasons (empty = healthy). Call before serving; it is read at scrape
+// time without further synchronisation.
+func (m *Metrics) SetDegradedFunc(f func() []string) { m.degraded = f }
+
 // CutsPerSec returns mean cut throughput since the server started.
 func (m *Metrics) CutsPerSec() float64 {
 	up := time.Since(m.start).Seconds()
@@ -98,6 +121,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	buckets := append([]int64(nil), m.bucketCounts...)
 	latencySum, latencyCount := m.latencySum, m.latencyCount
 	cutsTotal, mapsTotal := m.cutsTotal, m.mapsTotal
+	panicsTotal := m.panicsTotal
 	m.mu.Unlock()
 
 	sort.Slice(rows, func(i, j int) bool {
@@ -149,6 +173,18 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE slap_cuts_per_second gauge")
 	fmt.Fprintf(w, "slap_cuts_per_second %g\n", m.CutsPerSec())
 
+	fmt.Fprintln(w, "# HELP slap_panics_total Handler and worker panics recovered by the service.")
+	fmt.Fprintln(w, "# TYPE slap_panics_total counter")
+	fmt.Fprintf(w, "slap_panics_total %d\n", panicsTotal)
+
+	degradedReasons := 0
+	if m.degraded != nil {
+		degradedReasons = len(m.degraded())
+	}
+	fmt.Fprintln(w, "# HELP slap_degraded Number of active degradation reasons (0 = healthy).")
+	fmt.Fprintln(w, "# TYPE slap_degraded gauge")
+	fmt.Fprintf(w, "slap_degraded %d\n", degradedReasons)
+
 	fmt.Fprintln(w, "# HELP slap_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE slap_uptime_seconds gauge")
 	fmt.Fprintf(w, "slap_uptime_seconds %g\n", time.Since(m.start).Seconds())
@@ -167,12 +203,14 @@ func (m *Metrics) snapshot() any {
 	}
 	cutsTotal := m.cutsTotal
 	mapsTotal := m.mapsTotal
+	panicsTotal := m.panicsTotal
 	m.mu.Unlock()
 	return map[string]any{
 		"requests_total":       total,
 		"requests_by_endpoint": byEndpoint,
 		"cuts_considered":      cutsTotal,
 		"mappings_total":       mapsTotal,
+		"panics_total":         panicsTotal,
 		"cuts_per_second":      m.CutsPerSec(),
 		"queue_depth":          m.sched.QueueDepth(),
 		"inflight_workers":     m.sched.InFlight(),

@@ -50,6 +50,12 @@ type Registry struct {
 	mu     sync.RWMutex
 	models map[string]modelEntry
 	libs   map[string]libEntry
+
+	// Hot-load failure bookkeeping: a rejected artifact never corrupts the
+	// registry (the old entries keep serving), but the operator should see
+	// it — /healthz reports degraded while failures stand.
+	loadFailures int64
+	lastLoadErr  string
 }
 
 type modelEntry struct {
@@ -142,6 +148,22 @@ func (r *Registry) AddLibraryFile(name, path string) error {
 		return err
 	}
 	return r.AddLibrary(name, l, path)
+}
+
+// RecordLoadFailure notes a failed artifact hot-load for health reporting.
+func (r *Registry) RecordLoadFailure(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.loadFailures++
+	r.lastLoadErr = err.Error()
+}
+
+// LoadFailures returns the count of failed artifact hot-loads and the most
+// recent failure message.
+func (r *Registry) LoadFailures() (int64, string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.loadFailures, r.lastLoadErr
 }
 
 // Model returns the named model, or an error listing the available names.

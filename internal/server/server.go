@@ -11,8 +11,12 @@ import (
 	"math/rand"
 	"mime"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"slap/internal/aig"
@@ -40,6 +44,9 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested timeouts (0 = DefaultMaxTimeout).
 	MaxTimeout time.Duration
+	// JobsDir is where dataset-generation jobs persist their shard files
+	// and manifests (0 = a "slap-jobs" directory under os.TempDir).
+	JobsDir string
 }
 
 // Server defaults.
@@ -58,6 +65,13 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	start   time.Time
+
+	jobs    sync.Map // job id -> *datasetJob
+	jobsSeq atomic.Int64
+
+	// faultHook, when set (tests only), runs at the start of every mapping
+	// worker so panic recovery and budget accounting can be exercised.
+	faultHook func(endpoint string)
 }
 
 // New assembles a Server from cfg.
@@ -74,6 +88,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = DefaultMaxTimeout
 	}
+	if cfg.JobsDir == "" {
+		cfg.JobsDir = filepath.Join(os.TempDir(), "slap-jobs")
+	}
 	s := &Server{
 		cfg:   cfg,
 		reg:   cfg.Registry,
@@ -81,6 +98,7 @@ func New(cfg Config) *Server {
 		start: time.Now(),
 	}
 	s.metrics = NewMetrics(s.sched)
+	s.metrics.SetDegradedFunc(s.degradedReasons)
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/map", s.instrument("/v1/map", s.handleMap))
@@ -90,6 +108,10 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/registry", s.instrument("/v1/registry", s.handleRegistryList))
 	mux.Handle("POST /v1/registry/models", s.instrument("/v1/registry/models", s.handleRegistryAddModel))
 	mux.Handle("POST /v1/registry/libraries", s.instrument("/v1/registry/libraries", s.handleRegistryAddLibrary))
+	mux.Handle("POST /v1/jobs/dataset", s.instrument("/v1/jobs/dataset", s.handleJobSubmit))
+	mux.Handle("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobStatus))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux = mux
 	return s
@@ -189,20 +211,40 @@ type errorResponse struct {
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument records per-endpoint request counts and latencies.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument records per-endpoint request counts and latencies, and is
+// the panic bulkhead: a panicking handler answers 500 (when no bytes are
+// out yet), bumps panics_total, and the connection — not the process —
+// is the blast radius.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.AddPanic()
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", p))
+				} else {
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			s.metrics.Observe(endpoint, sw.status, time.Since(t0))
+		}()
 		h(sw, r)
-		s.metrics.Observe(endpoint, sw.status, time.Since(t0))
 	})
 }
 
@@ -309,9 +351,34 @@ func schedStatus(err error) int {
 // ---------------------------------------------------------------------------
 // Handlers
 
+// degradedReasons lists why the service is degraded (empty = healthy):
+// registry artifacts that failed to hot-load and dataset jobs that blew
+// their failure budget. Degraded is not down — the service keeps
+// answering 200 — but operators and probes see it flagged.
+func (s *Server) degradedReasons() []string {
+	var reasons []string
+	if n, last := s.reg.LoadFailures(); n > 0 {
+		reasons = append(reasons, fmt.Sprintf("registry: %d artifact load failure(s), last: %s", n, last))
+	}
+	s.jobs.Range(func(_, v any) bool {
+		j := v.(*datasetJob)
+		if j.budgetExceeded() {
+			reasons = append(reasons, fmt.Sprintf("dataset job %s exceeded its failure budget", j.id))
+		}
+		return true
+	})
+	return reasons
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	reasons := s.degradedReasons()
+	if len(reasons) > 0 {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+		"status":    status,
+		"degraded":  reasons,
 		"uptime_s":  time.Since(s.start).Seconds(),
 		"models":    len(s.reg.Models()),
 		"libraries": len(s.reg.Libraries()),
@@ -363,6 +430,7 @@ func (s *Server) handleRegistryAdd(w http.ResponseWriter, r *http.Request, add f
 		return
 	}
 	if err := add(req.Name, req.Path); err != nil {
+		s.reg.RecordLoadFailure(err)
 		status := http.StatusBadRequest
 		if strings.Contains(err.Error(), "already registered") {
 			status = http.StatusConflict
@@ -415,8 +483,16 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		// The mapping holds its worker tokens until it actually finishes,
 		// even if the handler has already answered 504 — that is what keeps
-		// the global budget honest.
+		// the global budget honest. Recovery runs before the deferred
+		// release (LIFO), so a panicking mapping still hands its tokens
+		// back and answers 500 instead of killing the process.
 		defer release()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.AddPanic()
+				ch <- outcome{nil, fmt.Errorf("mapping panicked: %v", p)}
+			}
+		}()
 		resp, err := s.executeMap(ctx, req, g, lib, model, granted)
 		if resp != nil {
 			s.metrics.AddCuts(resp.CutsConsidered)
@@ -442,6 +518,9 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 // maps its own freshly decoded graph; the only shared state is the
 // registry's model (read-only) and library (internally locked memo).
 func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, lib *library.Library, model *nn.Model, workers int) (*MapResponse, error) {
+	if s.faultHook != nil {
+		s.faultHook("/v1/map")
+	}
 	target := req.Target
 	if target == "" {
 		target = "asic"
@@ -577,6 +656,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	ch := make(chan outcome, 1)
 	go func() {
 		defer release()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.AddPanic()
+				ch <- outcome{nil, fmt.Errorf("classification panicked: %v", p)}
+			}
+		}()
+		if s.faultHook != nil {
+			s.faultHook("/v1/classify")
+		}
 		sl := core.New(model, lib)
 		sl.Workers = granted
 		cls, err := sl.ClassifyContext(ctx, g)
