@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"slap/internal/infer"
 	"slap/internal/server"
 )
 
@@ -65,18 +66,31 @@ func main() {
 		maxBody   = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 		drainWait = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		jobsDir   = flag.String("jobs-dir", "", "directory for dataset-job shard checkpoints (default: under the system temp dir)")
+		jobKeep   = flag.Duration("job-retention", server.DefaultJobRetention, "how long finished dataset jobs (and their shard directories) are kept; negative keeps them forever")
+		batch     = flag.Int("batch", infer.DefaultMaxBatch, "inference coalescing batch size shared across slap/classify requests (negative disables batching)")
+		batchWait = flag.Duration("batch-wait", infer.DefaultMaxWait, "max wait for an inference batch to fill before flushing")
 	)
 	flag.Var(&models, "model", "model to preload, as name=path or path (repeatable)")
 	flag.Var(&libs, "lib", "genlib-like library to preload, as name=path or path (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, models, libs, *workers, *queueCap, *timeout, *maxBody, *drainWait, *jobsDir); err != nil {
+	cfg := server.Config{
+		WorkerBudget:   *workers,
+		QueueCap:       *queueCap,
+		DefaultTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		JobsDir:        *jobsDir,
+		JobRetention:   *jobKeep,
+		MaxBatch:       *batch,
+		BatchWait:      *batchWait,
+	}
+	if err := run(*addr, models, libs, cfg, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "slap-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, models, libs artifactFlags, workers, queueCap int, timeout time.Duration, maxBody int64, drainWait time.Duration, jobsDir string) error {
+func run(addr string, models, libs artifactFlags, cfg server.Config, drainWait time.Duration) error {
 	reg := server.NewRegistry()
 	for _, m := range models {
 		if err := reg.AddModelFile(m.name, m.path); err != nil {
@@ -89,14 +103,8 @@ func run(addr string, models, libs artifactFlags, workers, queueCap int, timeout
 		}
 	}
 
-	s := server.New(server.Config{
-		Registry:       reg,
-		WorkerBudget:   workers,
-		QueueCap:       queueCap,
-		DefaultTimeout: timeout,
-		MaxBodyBytes:   maxBody,
-		JobsDir:        jobsDir,
-	})
+	cfg.Registry = reg
+	s := server.New(cfg)
 	s.Metrics().PublishExpvar()
 
 	hs := &http.Server{
@@ -111,7 +119,7 @@ func run(addr string, models, libs artifactFlags, workers, queueCap int, timeout
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("slap-serve listening on %s (budget %d workers, queue %d, %d models, %d libraries)",
-			addr, s.Scheduler().Budget(), queueCap, len(reg.Models()), len(reg.Libraries()))
+			addr, s.Scheduler().Budget(), cfg.QueueCap, len(reg.Models()), len(reg.Libraries()))
 		errCh <- hs.ListenAndServe()
 	}()
 

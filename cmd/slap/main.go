@@ -19,11 +19,13 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"slap/internal/aig"
 	"slap/internal/core"
 	"slap/internal/cuts"
 	"slap/internal/experiments"
+	"slap/internal/infer"
 	"slap/internal/library"
 	"slap/internal/mapper"
 	"slap/internal/nn"
@@ -40,6 +42,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "seed for the shuffle policy")
 		limit       = flag.Int("limit", 0, "per-node cut budget for default/shuffle policies (0 = 250)")
 		workers     = flag.Int("workers", 0, "cut-enumeration/inference workers (0 = all CPU cores, 1 = sequential)")
+		batch       = flag.Int("batch", 256, "batched-inference flush size for -policy slap (negative = per-sample inference)")
+		batchWait   = flag.Duration("batch-wait", time.Millisecond, "max wait for an inference batch to fill before flushing")
 		verify      = flag.Bool("verify", true, "check mapped netlist equivalence against the AIG")
 		listNames   = flag.Bool("list", false, "list built-in circuit names and exit")
 		showCells   = flag.Bool("cells", false, "print the cell-type histogram")
@@ -52,7 +56,8 @@ func main() {
 	if err := run(runConfig{
 		circuit: *circuitName, aag: *aagPath, profile: *profileName,
 		policy: *policyName, model: *modelPath, lib: *libPath,
-		seed: *seed, limit: *limit, workers: *workers, verify: *verify, list: *listNames,
+		seed: *seed, limit: *limit, workers: *workers, batch: *batch, batchWait: *batchWait,
+		verify: *verify, list: *listNames,
 		cells: *showCells, verilog: *verilogOut, blif: *blifOut, report: *report,
 		stdin: os.Stdin,
 	}); err != nil {
@@ -65,7 +70,8 @@ func main() {
 type runConfig struct {
 	circuit, aag, profile, policy, model, lib string
 	seed                                      int64
-	limit, workers                            int
+	limit, workers, batch                     int
+	batchWait                                 time.Duration
 	verify, list, cells, report               bool
 	verilog, blif                             string
 	// stdin backs -aag "-"; nil falls back to os.Stdin.
@@ -120,6 +126,18 @@ func run(cfg runConfig) error {
 		}
 		s := core.New(model, lib)
 		s.Workers = cfg.workers
+		if cfg.batch >= 0 {
+			// All mapping workers funnel through one coalescer, so a node's
+			// cuts merge with other nodes' into shared GEMM passes. The
+			// kernels keep per-sample accumulation order: QoR is identical
+			// to per-sample inference.
+			co := infer.NewCoalescer(infer.NewEngine(model, infer.Options{}), infer.CoalescerOptions{
+				MaxBatch: cfg.batch,
+				MaxWait:  cfg.batchWait,
+			})
+			defer co.Close()
+			s.Batch = co
+		}
 		res, err = s.Map(g)
 	default:
 		return fmt.Errorf("unknown policy %q", policyName)

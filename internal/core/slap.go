@@ -18,6 +18,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -64,6 +65,24 @@ type SLAP struct {
 	// each node keeps, ranked by predicted quality. Zero or negative keeps
 	// them all (the paper's literal keep-all-good rule, the default).
 	MaxCutsPerNode int
+	// Batch, when set, routes inference through a batched backend: each
+	// worker submits a whole node's cut embeddings as one PredictBatch call
+	// instead of running the per-sample Model forward pass per cut. Both
+	// *infer.Engine and *infer.Coalescer satisfy it; nil keeps the
+	// per-sample path. The batched kernels accumulate in the per-sample
+	// order, so filtering decisions — and hence mapping QoR — are identical
+	// either way.
+	Batch Batcher
+}
+
+// Batcher classifies batches of cut embeddings. It is satisfied by
+// infer.Engine (direct batched kernels) and infer.Coalescer (cross-caller
+// micro-batching); core declares the interface locally so it does not
+// depend on internal/infer.
+type Batcher interface {
+	// PredictBatch returns one probability vector per input, or an error
+	// (e.g. ctx done, backend closed) that fails the whole mapping call.
+	PredictBatch(ctx context.Context, xs [][]float64) ([][]float64, error)
 }
 
 // predictScore returns the model's continuous QoR score for a cut embedding
@@ -74,7 +93,27 @@ func (s *SLAP) predictScore(x []float64) float64 {
 	if !s.UseExpectedClass {
 		return float64(s.Model.PredictClass(x))
 	}
-	probs := s.Model.Predict(x)
+	return scoreFromProbs(s.Model.Predict(x), true)
+}
+
+// argmaxClass mirrors nn.Model.PredictClass exactly (first-wins on ties) so
+// batched and per-sample classification agree on every input.
+func argmaxClass(probs []float64) int {
+	best, bi := math.Inf(-1), 0
+	for c, p := range probs {
+		if p > best {
+			best, bi = p, c
+		}
+	}
+	return bi
+}
+
+// scoreFromProbs converts a probability vector to the QoR score, summing in
+// ascending class order like predictScore does.
+func scoreFromProbs(probs []float64, expected bool) float64 {
+	if !expected {
+		return float64(argmaxClass(probs))
+	}
 	e := 0.0
 	for c, p := range probs {
 		e += float64(c) * p
@@ -253,23 +292,39 @@ func (s *SLAP) FilterCutsContext(ctx context.Context, g *aig.AIG) (*cuts.Result,
 			nodes = append(nodes, n)
 		}
 	}
-	var wg sync.WaitGroup
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for ni := w; ni < len(nodes); ni += workers {
-				if ctx.Err() != nil {
+				if cctx.Err() != nil {
 					return
 				}
 				n := nodes[ni]
-				res.Sets[n] = s.filterNode(g, emb, n, res.Sets[n])
+				out, err := s.filterNode(cctx, emb, n, res.Sets[n])
+				if err != nil {
+					// First failure wins and cancels the siblings — e.g. a
+					// batching backend closing mid-map.
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+				res.Sets[n] = out
 			}
 		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	total := 0
@@ -280,29 +335,79 @@ func (s *SLAP) FilterCutsContext(ctx context.Context, g *aig.AIG) (*cuts.Result,
 	return res, nil
 }
 
+// nonTrivialIdx lists the indices of the non-trivial cuts of n within cs.
+func nonTrivialIdx(n uint32, cs []cuts.Cut) []int {
+	idx := make([]int, 0, len(cs))
+	for i := range cs {
+		if !cs[i].IsTrivial(n) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// batchProbs embeds the cuts selected by idx into one contiguous slab and
+// classifies them with a single PredictBatch submission, so the batching
+// backend sees a whole node's cuts at once.
+func (s *SLAP) batchProbs(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut, idx []int) ([][]float64, error) {
+	slab := make([]float64, len(idx)*embed.Size)
+	xs := make([][]float64, len(idx))
+	for k, i := range idx {
+		x := slab[k*embed.Size : (k+1)*embed.Size]
+		emb.CutInto(n, &cs[i], x)
+		xs[k] = x
+	}
+	return s.Batch.PredictBatch(ctx, xs)
+}
+
+// scoreCuts returns the QoR score of every non-trivial cut of n: scores[k]
+// belongs to cs[idx[k]]. With a Batcher set, the node's embeddings go out
+// as one batch; otherwise each cut runs the per-sample forward pass.
+func (s *SLAP) scoreCuts(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut) (idx []int, scores []float64, err error) {
+	idx = nonTrivialIdx(n, cs)
+	if len(idx) == 0 {
+		return idx, nil, nil
+	}
+	scores = make([]float64, len(idx))
+	if s.Batch == nil {
+		for k, i := range idx {
+			scores[k] = s.predictScore(emb.Cut(n, &cs[i]))
+		}
+		return idx, scores, nil
+	}
+	probs, err := s.batchProbs(ctx, emb, n, cs, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, p := range probs {
+		scores[k] = scoreFromProbs(p, s.UseExpectedClass)
+	}
+	return idx, scores, nil
+}
+
 // filterNode applies the paper's keep decision to one node's cut list:
 // classify every cut; keep the "good" cuts (class <= GoodMax) when any
 // exist, otherwise the "average" cuts (class <= AvgMax), otherwise only the
 // trivial cut. Kept cuts are ordered by predicted quality and capped at
 // MaxCutsPerNode — the learned priority-cuts ranking.
-func (s *SLAP) filterNode(g *aig.AIG, emb *embed.Embedder, n uint32, cs []cuts.Cut) []cuts.Cut {
+func (s *SLAP) filterNode(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut) ([]cuts.Cut, error) {
+	idx, scores, err := s.scoreCuts(ctx, emb, n, cs)
+	if err != nil {
+		return nil, err
+	}
 	type scored struct {
 		cut   cuts.Cut
 		score float64
 	}
 	var good, avg []scored
-	for i := range cs {
-		c := &cs[i]
-		if c.IsTrivial(n) {
-			continue
-		}
-		score := s.predictScore(emb.Cut(n, c))
+	for k, i := range idx {
+		score := scores[k]
 		class := int(score + 0.5)
 		switch {
 		case class <= s.GoodMax:
-			good = append(good, scored{cut: *c, score: score})
+			good = append(good, scored{cut: cs[i], score: score})
 		case class <= s.AvgMax:
-			avg = append(avg, scored{cut: *c, score: score})
+			avg = append(avg, scored{cut: cs[i], score: score})
 		}
 	}
 	keep := good
@@ -312,7 +417,7 @@ func (s *SLAP) filterNode(g *aig.AIG, emb *embed.Embedder, n uint32, cs []cuts.C
 	if len(keep) == 0 {
 		// No acceptable cut: only the trivial cut survives; the mapper's
 		// elementary-fanin-cut fallback keeps the node coverable.
-		return []cuts.Cut{trivialOf(n, cs)}
+		return []cuts.Cut{trivialOf(n, cs)}, nil
 	}
 	sort.SliceStable(keep, func(i, j int) bool { return keep[i].score < keep[j].score })
 	if s.MaxCutsPerNode > 0 && len(keep) > s.MaxCutsPerNode {
@@ -322,7 +427,7 @@ func (s *SLAP) filterNode(g *aig.AIG, emb *embed.Embedder, n uint32, cs []cuts.C
 	for _, k := range keep {
 		out = append(out, k.cut)
 	}
-	return append(out, trivialOf(n, cs))
+	return append(out, trivialOf(n, cs)), nil
 }
 
 func trivialOf(n uint32, cs []cuts.Cut) cuts.Cut {
@@ -436,23 +541,26 @@ func (s *SLAP) ClassifyContext(ctx context.Context, g *aig.AIG) (*Classification
 		}
 	}
 	perNode := make([][]int, len(nodes))
-	var wg sync.WaitGroup
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for ni := w; ni < len(nodes); ni += workers {
-				if ctx.Err() != nil {
+				if cctx.Err() != nil {
 					return
 				}
 				n := nodes[ni]
-				cs := res.Sets[n]
-				classes := make([]int, 0, len(cs))
-				for i := range cs {
-					if cs[i].IsTrivial(n) {
-						continue
-					}
-					classes = append(classes, s.Model.PredictClass(emb.Cut(n, &cs[i])))
+				classes, err := s.classifyNode(cctx, emb, n, res.Sets[n])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
 				}
 				perNode[ni] = classes
 			}
@@ -461,6 +569,9 @@ func (s *SLAP) ClassifyContext(ctx context.Context, g *aig.AIG) (*Classification
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	out := &Classification{Histogram: make([]int, s.Model.Classes)}
@@ -472,4 +583,28 @@ func (s *SLAP) ClassifyContext(ctx context.Context, g *aig.AIG) (*Classification
 		}
 	}
 	return out, nil
+}
+
+// classifyNode predicts the class of every non-trivial cut of n, via one
+// batched submission when a Batcher is set.
+func (s *SLAP) classifyNode(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut) ([]int, error) {
+	idx := nonTrivialIdx(n, cs)
+	classes := make([]int, len(idx))
+	if len(idx) == 0 {
+		return classes, nil
+	}
+	if s.Batch == nil {
+		for k, i := range idx {
+			classes[k] = s.Model.PredictClass(emb.Cut(n, &cs[i]))
+		}
+		return classes, nil
+	}
+	probs, err := s.batchProbs(ctx, emb, n, cs, idx)
+	if err != nil {
+		return nil, err
+	}
+	for k, p := range probs {
+		classes[k] = argmaxClass(p)
+	}
+	return classes, nil
 }

@@ -3,11 +3,14 @@ package core
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
+	"time"
 
 	"slap/internal/aig"
 	"slap/internal/circuits"
 	"slap/internal/cuts"
+	"slap/internal/infer"
 	"slap/internal/library"
 	"slap/internal/lutmap"
 	"slap/internal/mapper"
@@ -240,5 +243,58 @@ func TestSLAPMapLUT(t *testing.T) {
 	}
 	if res.CutsConsidered >= unl.CutsConsidered {
 		t.Fatalf("SLAP LUT cuts %d >= unlimited %d", res.CutsConsidered, unl.CutsConsidered)
+	}
+}
+
+// TestBatchedFilterMatchesPerSample pins the PR's headline guarantee: wiring
+// a batched inference backend (bare Engine or cross-goroutine Coalescer) into
+// SLAP changes throughput only — the surviving cut sets and the mapped QoR
+// are identical to per-sample Predict, because the GEMM kernels keep the
+// per-sample accumulation order.
+func TestBatchedFilterMatchesPerSample(t *testing.T) {
+	s, _ := trainSmall(t)
+	g := circuits.TrainRC16()
+
+	s.Batch = nil
+	perCuts := s.FilterCuts(g)
+	perRes, err := s.Map(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := infer.NewEngine(s.Model, infer.Options{})
+	co := infer.NewCoalescer(eng, infer.CoalescerOptions{MaxBatch: 32, MaxWait: 200 * time.Microsecond})
+	defer co.Close()
+	for _, tc := range []struct {
+		name  string
+		batch Batcher
+	}{
+		{"engine", eng},
+		{"coalescer", co},
+	} {
+		s.Batch = tc.batch
+		got := s.FilterCuts(g)
+		if !reflect.DeepEqual(got.Sets, perCuts.Sets) {
+			t.Fatalf("%s: batched filtering chose different cut sets", tc.name)
+		}
+		res, err := s.Map(g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Area != perRes.Area || res.Delay != perRes.Delay {
+			t.Fatalf("%s: QoR drifted: area %v vs %v, delay %v vs %v",
+				tc.name, res.Area, perRes.Area, res.Delay, perRes.Delay)
+		}
+	}
+
+	// The expected-class scoring variant routes through the same batched
+	// probabilities and must agree with its per-sample counterpart too.
+	s.UseExpectedClass = true
+	s.Batch = nil
+	expPer := s.FilterCuts(g)
+	s.Batch = eng
+	expBat := s.FilterCuts(g)
+	if !reflect.DeepEqual(expPer.Sets, expBat.Sets) {
+		t.Fatalf("UseExpectedClass: batched filtering chose different cut sets")
 	}
 }

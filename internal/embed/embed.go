@@ -39,6 +39,10 @@ const (
 	Cols = NodeDim
 )
 
+// Size is the flat length of a cut embedding (Rows·Cols), the stride batch
+// consumers use when packing many embeddings into one buffer.
+const Size = Rows * Cols
+
 // NodeFeatureNames labels the node embedding entries.
 var NodeFeatureNames = [NodeDim]string{
 	"invOut", "level", "fanout", "revLevel",
@@ -111,18 +115,35 @@ func (e *Embedder) Node(n uint32) [NodeDim]float64 {
 }
 
 // Cut builds the 15×10 embedding matrix of a cut rooted at root, returned
-// as a flat row-major slice of length Rows*Cols.
+// as a flat row-major slice of length Size.
 func (e *Embedder) Cut(root uint32, c *cuts.Cut) []float64 {
-	m := make([]float64, Rows*Cols)
+	m := make([]float64, Size)
+	e.CutInto(root, c, m)
+	return m
+}
+
+// CutInto writes the cut embedding into dst, which must have length Size.
+// Every position is overwritten, so dst may be a dirty reused buffer — batch
+// consumers pack one node's cuts into a single slab with stride Size instead
+// of allocating per cut.
+func (e *Embedder) CutInto(root uint32, c *cuts.Cut, dst []float64) {
+	if len(dst) != Size {
+		panic("embed: CutInto dst has wrong length")
+	}
 	re := e.Node(root)
-	copy(m[0:Cols], re[:])
+	copy(dst[0:Cols], re[:])
 	for i := 0; i < cuts.K; i++ {
+		row := dst[(1+i)*Cols : (2+i)*Cols]
 		if i < len(c.Leaves) {
 			le := e.Node(c.Leaves[i])
-			copy(m[(1+i)*Cols:(2+i)*Cols], le[:])
+			copy(row, le[:])
+		} else {
+			// Missing leaves are zero-padded, dissolving the effect of the
+			// nonexistent connections (paper §IV-A).
+			for j := range row {
+				row[j] = 0
+			}
 		}
-		// Missing leaves stay zero-padded, dissolving the effect of the
-		// nonexistent connections (paper §IV-A).
 	}
 	feats := c.Features(e.G, root)
 	// Scale-awareness (see the package comment): level features relative to
@@ -136,10 +157,9 @@ func (e *Embedder) Cut(root uint32, c *cuts.Cut) []float64 {
 	for fi := 0; fi < len(feats); fi++ {
 		row := (6 + fi) * Cols
 		for j := 0; j < Cols; j++ {
-			m[row+j] = feats[fi]
+			dst[row+j] = feats[fi]
 		}
 	}
-	return m
 }
 
 // FeatureGroup identifies one permutable feature of the cut embedding for

@@ -171,3 +171,32 @@ func TestCutEmbeddingOnRealCircuit(t *testing.T) {
 		t.Fatalf("no cut embeddings produced")
 	}
 }
+
+// TestCutIntoReusedBuffer checks the allocation-free variant fully overwrites
+// a dirty destination — including the zero rows for absent leaves — and
+// rejects wrong-sized buffers.
+func TestCutIntoReusedBuffer(t *testing.T) {
+	g, x, y, z := testGraph()
+	e := NewEmbedder(g)
+	enum := &cuts.Enumerator{G: g}
+	c := enum.MakeCut(z.Node(), orderedPair(x.Node(), y.Node()))
+	want := e.Cut(z.Node(), &c)
+
+	dst := make([]float64, Size)
+	for i := range dst {
+		dst[i] = 99.5 // poison: any skipped position shows through
+	}
+	e.CutInto(z.Node(), &c, dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("position %d: CutInto wrote %v, Cut wrote %v", i, dst[i], want[i])
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("CutInto accepted a wrong-sized buffer")
+		}
+	}()
+	e.CutInto(z.Node(), &c, make([]float64, Size-1))
+}

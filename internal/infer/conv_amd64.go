@@ -1,0 +1,23 @@
+//go:build amd64
+
+package infer
+
+// hasAVX gates the vector conv micro-kernel. Detected once at startup via
+// CPUID/XGETBV (AVX instructions present and the OS saves YMM state).
+var hasAVX = cpuHasAVX()
+
+// cpuHasAVX reports whether the CPU and OS support AVX. Implemented in
+// conv_amd64.s.
+func cpuHasAVX() bool
+
+// convFilterAVX computes one conv filter over width columns (width must be a
+// multiple of 8): out[c] = relu(bias + Σ_i w[i]·xn[i·cb+c]) for c in
+// [0,width). Each SIMD lane carries one output column through the same
+// round-product-then-round-sum sequence in the same ascending-i order as the
+// scalar path — VMULPD/VADDPD, never FMA — so every lane is bit-identical to
+// nn.Model's forward. The ReLU is VMAXPD(acc, 0), which matches the scalar
+// "v > 0 ? v : 0" for every input including NaN (→0) and -0 (→+0).
+// Implemented in conv_amd64.s.
+//
+//go:noescape
+func convFilterAVX(xn, w, out *float64, rows, cb, width int, bias float64)

@@ -1,0 +1,78 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// CPUID leaf 1: ECX bit 28 = AVX, bit 27 = OSXSAVE. When both are set,
+// XGETBV(0) bits 1-2 confirm the OS saves XMM+YMM state on context switch.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL	$1, AX
+	CPUID
+	MOVL	CX, BX
+	ANDL	$(1<<27 | 1<<28), BX
+	CMPL	BX, $(1<<27 | 1<<28)
+	JNE	noavx
+	XORL	CX, CX
+	XGETBV
+	ANDL	$6, AX
+	CMPL	AX, $6
+	JNE	noavx
+	MOVB	$1, ret+0(FP)
+	RET
+noavx:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func convFilterAVX(xn, w, out *float64, rows, cb, width int, bias float64)
+//
+// For col in [0,width) step 8:
+//	Y0,Y1 = broadcast(bias)
+//	for i in [0,rows): Y0,Y1 += broadcast(w[i]) * xn[i*cb+col .. +8]
+//	out[col..+8] = VMAXPD(Y0|Y1, 0)
+//
+// VMULPD then VADDPD keeps scalar rounding per lane (no FMA), and the
+// accumulation order is bias-first ascending-i — bit-identical to the
+// per-sample forward pass. VMAXPD operand order matters: acc must be src1 so
+// NaN and -0 resolve to src2 (+0), matching the scalar relu branch.
+TEXT ·convFilterAVX(SB), NOSPLIT, $0-56
+	MOVQ	xn+0(FP), SI
+	MOVQ	w+8(FP), DX
+	MOVQ	out+16(FP), DI
+	MOVQ	rows+24(FP), R8
+	MOVQ	cb+32(FP), R9
+	MOVQ	width+40(FP), R10
+	VBROADCASTSD	bias+48(FP), Y6
+	VXORPS	Y5, Y5, Y5
+	SHLQ	$3, R9          // cb in bytes
+	XORQ	CX, CX          // col
+colloop:
+	LEAQ	8(CX), AX
+	CMPQ	AX, R10
+	JGT	done
+	VMOVAPD	Y6, Y0
+	VMOVAPD	Y6, Y1
+	LEAQ	(SI)(CX*8), BX  // &xn[col]
+	MOVQ	DX, R11         // &w[0]
+	MOVQ	R8, R12         // rows countdown
+rowloop:
+	VBROADCASTSD	(R11), Y2
+	VMOVUPD	(BX), Y3
+	VMOVUPD	32(BX), Y4
+	VMULPD	Y3, Y2, Y3
+	VADDPD	Y3, Y0, Y0
+	VMULPD	Y4, Y2, Y4
+	VADDPD	Y4, Y1, Y1
+	ADDQ	$8, R11
+	ADDQ	R9, BX
+	DECQ	R12
+	JNZ	rowloop
+	VMAXPD	Y5, Y0, Y0      // Intel order (Y0, Y0, Y5): src1=acc, src2=0
+	VMAXPD	Y5, Y1, Y1
+	VMOVUPD	Y0, (DI)(CX*8)
+	VMOVUPD	Y1, 32(DI)(CX*8)
+	MOVQ	AX, CX
+	JMP	colloop
+done:
+	VZEROUPPER
+	RET

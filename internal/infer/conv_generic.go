@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package infer
+
+// hasAVX is false off amd64; convTile always takes the portable scalar path.
+const hasAVX = false
+
+// convFilterAVX is never called when hasAVX is false.
+func convFilterAVX(xn, w, out *float64, rows, cb, width int, bias float64) {
+	panic("infer: convFilterAVX without AVX support")
+}

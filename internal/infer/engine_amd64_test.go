@@ -1,0 +1,34 @@
+//go:build amd64
+
+package infer
+
+import "testing"
+
+// TestEngineScalarFallback forces the portable conv path on AVX hosts so the
+// non-amd64 code keeps its bit-identity guarantee under test. hasAVX is a
+// package var only on amd64, hence the build tag.
+func TestEngineScalarFallback(t *testing.T) {
+	if !hasAVX {
+		t.Skip("already running the scalar path")
+	}
+	hasAVX = false
+	defer func() { hasAVX = true }()
+
+	m := randomModel(15, 10, 128, 10, 43)
+	eng := NewEngine(m, Options{})
+	for _, bsz := range []int{1, 7, 64} {
+		xs := randomBatch(m, bsz, int64(200+bsz))
+		got, err := eng.ForwardBatch(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range xs {
+			want := m.Predict(x)
+			for c := range want {
+				if got[i][c] != want[c] {
+					t.Fatalf("batch %d sample %d class %d: scalar path diverged", bsz, i, c)
+				}
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Model is the SLAP cut classifier.
@@ -64,9 +65,18 @@ func glorot(w []float64, fanIn, fanOut int, rng *rand.Rand) {
 }
 
 // FitNormalization computes per-position mean and standard deviation over
-// the training inputs. Positions with zero variance get Std 1.
+// the training inputs. Positions with zero variance get Std 1. An empty
+// training set resets to the identity normalisation (Mean 0, Std 1) instead
+// of dividing by zero into NaN weights.
 func (m *Model) FitNormalization(xs [][]float64) {
 	n := m.Rows * m.Cols
+	if len(xs) == 0 {
+		for i := 0; i < n; i++ {
+			m.Mean[i] = 0
+			m.Std[i] = 1
+		}
+		return
+	}
 	mean := make([]float64, n)
 	for _, x := range xs {
 		for i := 0; i < n; i++ {
@@ -109,6 +119,24 @@ func (m *Model) newActs() *acts {
 		probs: make([]float64, m.Classes),
 	}
 }
+
+// actsPool recycles activation scratch across Predict/PredictClass/Loss
+// calls; forward overwrites every entry, and an entry is reused only when
+// its shapes match the model, so differently-sized models can share the
+// pool safely.
+var actsPool sync.Pool
+
+func (m *Model) getActs() *acts {
+	if v := actsPool.Get(); v != nil {
+		a := v.(*acts)
+		if len(a.norm) == m.Rows*m.Cols && len(a.conv) == m.Filters*m.Cols && len(a.probs) == m.Classes {
+			return a
+		}
+	}
+	return m.newActs()
+}
+
+func putActs(a *acts) { actsPool.Put(a) }
 
 // forward runs the network on one input, filling a.
 func (m *Model) forward(x []float64, a *acts) {
@@ -159,23 +187,24 @@ func (m *Model) forward(x []float64, a *acts) {
 
 // Predict returns the class probabilities for one input.
 //
-// Predict and PredictClass are safe for concurrent readers: each call
-// allocates its own activation scratch and only reads the weight slices, so
-// one deserialised Model may be shared across mapping goroutines and server
-// requests without copying. (Training methods mutate weights and must not
-// run concurrently with inference.)
+// Predict and PredictClass are safe for concurrent readers: each call takes
+// its own activation scratch (pooled, never shared while in use) and only
+// reads the weight slices, so one deserialised Model may be shared across
+// mapping goroutines and server requests without copying. (Training methods
+// mutate weights and must not run concurrently with inference.)
 func (m *Model) Predict(x []float64) []float64 {
-	a := m.newActs()
+	a := m.getActs()
 	m.forward(x, a)
 	out := make([]float64, m.Classes)
 	copy(out, a.probs)
+	putActs(a)
 	return out
 }
 
 // PredictClass returns the argmax class for one input. Like Predict, it is
-// safe for concurrent readers (per-call scratch, read-only weights).
+// safe for concurrent readers (pooled scratch, read-only weights).
 func (m *Model) PredictClass(x []float64) int {
-	a := m.newActs()
+	a := m.getActs()
 	m.forward(x, a)
 	best, bi := math.Inf(-1), 0
 	for c, p := range a.probs {
@@ -183,6 +212,7 @@ func (m *Model) PredictClass(x []float64) int {
 			best, bi = p, c
 		}
 	}
+	putActs(a)
 	return bi
 }
 
@@ -269,12 +299,13 @@ func (m *Model) backward(a *acts, label int, g *grads) {
 
 // Loss returns the cross-entropy loss of one sample.
 func (m *Model) Loss(x []float64, label int) float64 {
-	a := m.newActs()
+	a := m.getActs()
 	m.forward(x, a)
 	p := a.probs[label]
 	if p < 1e-15 {
 		p = 1e-15
 	}
+	putActs(a)
 	return -math.Log(p)
 }
 

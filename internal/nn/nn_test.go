@@ -152,6 +152,55 @@ func TestNormalization(t *testing.T) {
 	}
 }
 
+// TestFitNormalizationEmptySet pins the regression where an empty training
+// set divided by zero into NaN Mean/Std, poisoning every later prediction.
+func TestFitNormalizationEmptySet(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := smallModel(rng)
+	// Dirty the normalisation first so the empty fit provably resets it.
+	xs := [][]float64{
+		{1, 2, 3, 4, 5, 6},
+		{3, 2, 5, 4, 9, 6},
+	}
+	m.FitNormalization(xs)
+	m.FitNormalization(nil)
+	for i := range m.Mean {
+		if m.Mean[i] != 0 || m.Std[i] != 1 {
+			t.Fatalf("empty fit must reset to identity: Mean[%d]=%v Std[%d]=%v", i, m.Mean[i], i, m.Std[i])
+		}
+	}
+	x := []float64{1, 2, 3, 4, 5, 6}
+	for _, p := range m.Predict(x) {
+		if math.IsNaN(p) {
+			t.Fatalf("prediction is NaN after empty FitNormalization")
+		}
+	}
+}
+
+// TestPredictDoesNotChurnAllocations checks the acts pool keeps the
+// per-sample path at a constant small allocation count (just the returned
+// probability slice for Predict, none for PredictClass).
+func TestPredictDoesNotChurnAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under -race (sync.Pool caching is bypassed)")
+	}
+	rng := rand.New(rand.NewSource(22))
+	m := NewModel(15, 10, 128, 10, rng)
+	x := make([]float64, 150)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// Warm the pool so the steady state is measured.
+	m.Predict(x)
+	m.PredictClass(x)
+	if avg := testing.AllocsPerRun(100, func() { m.Predict(x) }); avg > 1 {
+		t.Errorf("Predict allocates %.1f objects/op, want <= 1 (the result slice)", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { m.PredictClass(x) }); avg > 0 {
+		t.Errorf("PredictClass allocates %.1f objects/op, want 0", avg)
+	}
+}
+
 func TestBinaryAccuracy(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	m := NewModel(2, 2, 2, 10, rng)
@@ -282,9 +331,38 @@ func BenchmarkForward(b *testing.B) {
 		x[i] = rng.NormFloat64()
 	}
 	a := m.newActs()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.forward(x, a)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	m := NewModel(15, 10, 128, 10, rng)
+	x := make([]float64, 150)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+func BenchmarkPredictClass(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	m := NewModel(15, 10, 128, 10, rng)
+	x := make([]float64, 150)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictClass(x)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package nn
+
+// raceEnabled lets allocation-count assertions skip under -race: the race
+// runtime bypasses sync.Pool caching, so AllocsPerRun is not meaningful.
+const raceEnabled = true

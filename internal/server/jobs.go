@@ -83,6 +83,7 @@ type datasetJob struct {
 	cancel  context.CancelFunc
 
 	mu          sync.Mutex
+	gcTimer     *time.Timer
 	state       string
 	started     time.Time
 	finished    time.Time
@@ -133,6 +134,49 @@ func (j *datasetJob) budgetExceeded() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state == "failed" && len(j.failed) > j.budget
+}
+
+// terminal reports whether the job has finished (done, failed or canceled)
+// — the states in which its directory may be garbage-collected.
+func (j *datasetJob) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == "done" || j.state == "failed" || j.state == "canceled"
+}
+
+// scheduleJobGC arms the retention timer once a job reaches a terminal
+// state, after which the job record and its on-disk shard directory are
+// removed. Negative retention keeps finished jobs forever.
+func (s *Server) scheduleJobGC(job *datasetJob) {
+	retention := s.cfg.JobRetention
+	if retention < 0 {
+		return
+	}
+	if retention == 0 {
+		retention = DefaultJobRetention
+	}
+	t := time.AfterFunc(retention, func() { s.removeJob(job) })
+	job.mu.Lock()
+	job.gcTimer = t
+	job.mu.Unlock()
+}
+
+// removeJob deletes a terminal job: the registry entry goes first so no new
+// status reads resolve it, then the shard directory. Running jobs are left
+// untouched. Reports whether the job was removed.
+func (s *Server) removeJob(job *datasetJob) bool {
+	if !job.terminal() {
+		return false
+	}
+	s.jobs.Delete(job.id)
+	job.mu.Lock()
+	if job.gcTimer != nil {
+		job.gcTimer.Stop()
+		job.gcTimer = nil
+	}
+	job.mu.Unlock()
+	os.RemoveAll(job.outDir)
+	return true
 }
 
 // builtinCircuit resolves a named training design.
@@ -236,6 +280,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // panic-isolated per shard, and the outer recover keeps even a runner bug
 // from taking the server down.
 func (s *Server) runDatasetJob(ctx context.Context, job *datasetJob, gcfg genjob.Config) {
+	// Registered first so it runs last: the retention clock starts only
+	// after the job has settled into its terminal state (including the
+	// panic path below).
+	defer s.scheduleJobGC(job)
 	defer job.cancel()
 	defer func() {
 		if p := recover(); p != nil {
@@ -336,9 +384,19 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
+// handleJobCancel serves DELETE /v1/jobs/{id}: a running (or queued) job is
+// canceled and keeps its directory until it settles and retention expires; a
+// terminal job is removed immediately, shard directory included.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobByID(w, r)
 	if !ok {
+		return
+	}
+	if s.removeJob(job) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":      job.id,
+			"deleted": true,
+		})
 		return
 	}
 	job.cancel()

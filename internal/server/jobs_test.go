@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
+	"os"
 	"reflect"
 	"strings"
 	"sync"
@@ -240,5 +242,97 @@ func TestJobSubmitValidation(t *testing.T) {
 				t.Errorf("status %d, want 400 (%s)", resp.StatusCode, data)
 			}
 		})
+	}
+}
+
+// submitTinyJob submits a minimal dataset job and waits for it to finish.
+func submitTinyJob(t *testing.T, ts *httptest.Server) DatasetJobStatus {
+	t.Helper()
+	resp, data := postJSON(t, ts.URL+"/v1/jobs/dataset", map[string]any{
+		"circuits":         []string{"rc16"},
+		"maps_per_circuit": 2,
+		"shards":           2,
+		"seed":             3,
+		"workers":          1,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", resp.StatusCode, data)
+	}
+	var sub struct {
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	var st DatasetJobStatus
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		getJSON(t, ts.URL+sub.StatusURL, &st)
+		if st.State == "done" || st.State == "failed" || st.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("job state %q, error %q", st.State, st.Error)
+	}
+	return st
+}
+
+// TestJobDeleteRemovesDirectory checks DELETE on a finished job removes both
+// the registry entry and the on-disk shard directory immediately.
+func TestJobDeleteRemovesDirectory(t *testing.T) {
+	// Negative retention: only the explicit DELETE may remove anything.
+	_, ts := newTestServer(t, Config{WorkerBudget: 2, JobsDir: t.TempDir(), JobRetention: -1})
+	st := submitTinyJob(t, ts)
+	if _, err := os.Stat(st.OutDir); err != nil {
+		t.Fatalf("job directory missing before delete: %v", err)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var del struct {
+		Deleted bool `json:"deleted"`
+	}
+	if err := json.Unmarshal(data, &del); err != nil || resp.StatusCode != http.StatusOK || !del.Deleted {
+		t.Fatalf("delete answered %d %s, want 200 with deleted:true", resp.StatusCode, data)
+	}
+	if _, err := os.Stat(st.OutDir); !os.IsNotExist(err) {
+		t.Errorf("job directory still present after delete: %v", err)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID, nil); code != http.StatusNotFound {
+		t.Errorf("deleted job still resolves: status %d, want 404", code)
+	}
+}
+
+// TestJobRetentionGC checks a finished job is garbage-collected — registry
+// entry and shard directory — once the configured retention expires, with no
+// client involvement.
+func TestJobRetentionGC(t *testing.T) {
+	_, ts := newTestServer(t, Config{WorkerBudget: 2, JobsDir: t.TempDir(), JobRetention: 50 * time.Millisecond})
+	st := submitTinyJob(t, ts)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID, nil)
+		_, statErr := os.Stat(st.OutDir)
+		if code == http.StatusNotFound && os.IsNotExist(statErr) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not collected after retention: status %d, dir err %v", code, statErr)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"slap/internal/infer"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
@@ -15,6 +17,17 @@ import (
 var latencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// batchSizeBuckets are the upper bounds of the inference batch-size
+// histogram; the top bucket sits above any realistic MaxBatch.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// queueWaitBuckets are the upper bounds (seconds) of the coalescer
+// queue-wait histogram, spanning sub-deadline waits to stalled backends.
+var queueWaitBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.5,
 }
 
 // Metrics aggregates service observability: per-endpoint/status request
@@ -33,6 +46,13 @@ type Metrics struct {
 	cutsTotal    int64
 	mapsTotal    int64
 	panicsTotal  int64
+	// Inference coalescer telemetry (Metrics implements infer.Collector).
+	batchBuckets   []int64
+	batchSum       int64
+	batchCount     int64
+	waitBuckets    []int64
+	waitSum        float64
+	flushesByCause map[infer.FlushReason]int64
 	// degraded reports current degradation reasons (nil = never degraded);
 	// set once at server assembly, read at scrape time.
 	degraded func() []string
@@ -41,11 +61,28 @@ type Metrics struct {
 // NewMetrics returns a Metrics bound to the scheduler's gauges.
 func NewMetrics(sched *Scheduler) *Metrics {
 	return &Metrics{
-		start:        time.Now(),
-		sched:        sched,
-		requests:     make(map[string]map[int]int64),
-		bucketCounts: make([]int64, len(latencyBuckets)+1),
+		start:          time.Now(),
+		sched:          sched,
+		requests:       make(map[string]map[int]int64),
+		bucketCounts:   make([]int64, len(latencyBuckets)+1),
+		batchBuckets:   make([]int64, len(batchSizeBuckets)+1),
+		waitBuckets:    make([]int64, len(queueWaitBuckets)+1),
+		flushesByCause: make(map[infer.FlushReason]int64),
 	}
+}
+
+// ObserveFlush implements infer.Collector: every coalescer flush lands in
+// the batch-size and queue-wait histograms plus the per-reason counter.
+func (m *Metrics) ObserveFlush(fs infer.FlushStats) {
+	sec := fs.QueueWait.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchBuckets[sort.SearchFloat64s(batchSizeBuckets, float64(fs.Size))]++
+	m.batchSum += int64(fs.Size)
+	m.batchCount++
+	m.waitBuckets[sort.SearchFloat64s(queueWaitBuckets, sec)]++
+	m.waitSum += sec
+	m.flushesByCause[fs.Reason]++
 }
 
 // Observe records one completed request.
@@ -122,6 +159,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	latencySum, latencyCount := m.latencySum, m.latencyCount
 	cutsTotal, mapsTotal := m.cutsTotal, m.mapsTotal
 	panicsTotal := m.panicsTotal
+	batchBuckets := append([]int64(nil), m.batchBuckets...)
+	batchSum, batchCount := m.batchSum, m.batchCount
+	waitBuckets := append([]int64(nil), m.waitBuckets...)
+	waitSum := m.waitSum
+	flushes := make(map[infer.FlushReason]int64, len(m.flushesByCause))
+	for r, c := range m.flushesByCause {
+		flushes[r] = c
+	}
 	m.mu.Unlock()
 
 	sort.Slice(rows, func(i, j int) bool {
@@ -173,6 +218,40 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE slap_cuts_per_second gauge")
 	fmt.Fprintf(w, "slap_cuts_per_second %g\n", m.CutsPerSec())
 
+	fmt.Fprintln(w, "# HELP slap_infer_batch_size Samples per coalesced inference flush.")
+	fmt.Fprintln(w, "# TYPE slap_infer_batch_size histogram")
+	var bcum int64
+	for i, ub := range batchSizeBuckets {
+		bcum += batchBuckets[i]
+		fmt.Fprintf(w, "slap_infer_batch_size_bucket{le=\"%g\"} %d\n", ub, bcum)
+	}
+	bcum += batchBuckets[len(batchSizeBuckets)]
+	fmt.Fprintf(w, "slap_infer_batch_size_bucket{le=\"+Inf\"} %d\n", bcum)
+	fmt.Fprintf(w, "slap_infer_batch_size_sum %d\n", batchSum)
+	fmt.Fprintf(w, "slap_infer_batch_size_count %d\n", batchCount)
+
+	fmt.Fprintln(w, "# HELP slap_infer_queue_wait_seconds Wait of the oldest sample in each flushed batch.")
+	fmt.Fprintln(w, "# TYPE slap_infer_queue_wait_seconds histogram")
+	var wcum int64
+	for i, ub := range queueWaitBuckets {
+		wcum += waitBuckets[i]
+		fmt.Fprintf(w, "slap_infer_queue_wait_seconds_bucket{le=\"%g\"} %d\n", ub, wcum)
+	}
+	wcum += waitBuckets[len(queueWaitBuckets)]
+	fmt.Fprintf(w, "slap_infer_queue_wait_seconds_bucket{le=\"+Inf\"} %d\n", wcum)
+	fmt.Fprintf(w, "slap_infer_queue_wait_seconds_sum %g\n", waitSum)
+	fmt.Fprintf(w, "slap_infer_queue_wait_seconds_count %d\n", batchCount)
+
+	fmt.Fprintln(w, "# HELP slap_infer_flushes_total Coalescer flushes by trigger.")
+	fmt.Fprintln(w, "# TYPE slap_infer_flushes_total counter")
+	for _, reason := range []infer.FlushReason{infer.FlushSize, infer.FlushDeadline, infer.FlushDrain} {
+		fmt.Fprintf(w, "slap_infer_flushes_total{reason=%q} %d\n", string(reason), flushes[reason])
+		delete(flushes, reason)
+	}
+	for reason, c := range flushes {
+		fmt.Fprintf(w, "slap_infer_flushes_total{reason=%q} %d\n", string(reason), c)
+	}
+
 	fmt.Fprintln(w, "# HELP slap_panics_total Handler and worker panics recovered by the service.")
 	fmt.Fprintln(w, "# TYPE slap_panics_total counter")
 	fmt.Fprintf(w, "slap_panics_total %d\n", panicsTotal)
@@ -204,6 +283,7 @@ func (m *Metrics) snapshot() any {
 	cutsTotal := m.cutsTotal
 	mapsTotal := m.mapsTotal
 	panicsTotal := m.panicsTotal
+	batchCount, batchSum := m.batchCount, m.batchSum
 	m.mu.Unlock()
 	return map[string]any{
 		"requests_total":       total,
@@ -211,6 +291,8 @@ func (m *Metrics) snapshot() any {
 		"cuts_considered":      cutsTotal,
 		"mappings_total":       mapsTotal,
 		"panics_total":         panicsTotal,
+		"infer_flushes":        batchCount,
+		"infer_batched":        batchSum,
 		"cuts_per_second":      m.CutsPerSec(),
 		"queue_depth":          m.sched.QueueDepth(),
 		"inflight_workers":     m.sched.InFlight(),

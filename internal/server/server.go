@@ -22,6 +22,7 @@ import (
 	"slap/internal/aig"
 	"slap/internal/core"
 	"slap/internal/cuts"
+	"slap/internal/infer"
 	"slap/internal/library"
 	"slap/internal/lutmap"
 	"slap/internal/mapper"
@@ -47,6 +48,18 @@ type Config struct {
 	// JobsDir is where dataset-generation jobs persist their shard files
 	// and manifests (0 = a "slap-jobs" directory under os.TempDir).
 	JobsDir string
+	// JobRetention is how long a finished dataset job (and its on-disk
+	// shard directory) outlives completion before being garbage-collected
+	// (0 = DefaultJobRetention, negative = keep forever).
+	JobRetention time.Duration
+	// MaxBatch is the inference coalescer's flush size: concurrent slap
+	// mappings and classifications share batched forward passes through one
+	// coalescer per model (0 = infer.DefaultMaxBatch, negative = disable
+	// batching and run the per-sample path).
+	MaxBatch int
+	// BatchWait bounds how long a lone inference submission waits for
+	// batch-mates before flushing anyway (0 = infer.DefaultMaxWait).
+	BatchWait time.Duration
 }
 
 // Server defaults.
@@ -54,6 +67,7 @@ const (
 	DefaultMaxBodyBytes   = 8 << 20
 	DefaultRequestTimeout = 60 * time.Second
 	DefaultMaxTimeout     = 5 * time.Minute
+	DefaultJobRetention   = time.Hour
 )
 
 // Server is the long-running mapping service: registry + scheduler +
@@ -68,6 +82,11 @@ type Server struct {
 
 	jobs    sync.Map // job id -> *datasetJob
 	jobsSeq atomic.Int64
+
+	// coalescers holds one inference coalescer per registry model
+	// (*nn.Model -> *infer.Coalescer), created on first slap/classify use
+	// so concurrent requests against the same model share forward passes.
+	coalescers sync.Map
 
 	// faultHook, when set (tests only), runs at the start of every mapping
 	// worker so panic recovery and budget accounting can be exercised.
@@ -130,9 +149,38 @@ func (s *Server) Scheduler() *Scheduler { return s.sched }
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Close begins draining: queued requests fail fast with 503 while granted
-// worker tokens stay borrowed until their mappings finish. Call after
-// http.Server.Shutdown has stopped accepting connections.
-func (s *Server) Close() { s.sched.Close() }
+// worker tokens stay borrowed until their mappings finish, then the
+// inference coalescers drain and stop. Call after http.Server.Shutdown has
+// stopped accepting connections.
+func (s *Server) Close() {
+	s.sched.Close()
+	s.coalescers.Range(func(_, v any) bool {
+		v.(*infer.Coalescer).Close()
+		return true
+	})
+}
+
+// batcherFor returns the shared batched-inference hook for model, creating
+// the engine + coalescer pair on first use. Returns an untyped nil when
+// batching is disabled, so core sees Batch == nil and stays per-sample.
+func (s *Server) batcherFor(model *nn.Model) core.Batcher {
+	if s.cfg.MaxBatch < 0 {
+		return nil
+	}
+	if v, ok := s.coalescers.Load(model); ok {
+		return v.(*infer.Coalescer)
+	}
+	co := infer.NewCoalescer(infer.NewEngine(model, infer.Options{}), infer.CoalescerOptions{
+		MaxBatch:  s.cfg.MaxBatch,
+		MaxWait:   s.cfg.BatchWait,
+		Collector: s.metrics,
+	})
+	if prev, loaded := s.coalescers.LoadOrStore(model, co); loaded {
+		co.Close()
+		return prev.(*infer.Coalescer)
+	}
+	return co
+}
 
 // ---------------------------------------------------------------------------
 // Request/response types
@@ -339,7 +387,7 @@ func schedStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed), errors.Is(err, infer.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
@@ -552,6 +600,7 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 		if policy == "slap" {
 			sl := core.New(model, lib)
 			sl.Workers = workers
+			sl.Batch = s.batcherFor(model)
 			res, err = sl.MapLUTContext(ctx, g)
 		} else {
 			res, err = lutmap.Map(g, lutmap.Options{Policy: cutPolicy, Workers: workers})
@@ -573,6 +622,7 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 		if policy == "slap" {
 			sl := core.New(model, lib)
 			sl.Workers = workers
+			sl.Batch = s.batcherFor(model)
 			res, err = sl.MapContext(ctx, g)
 		} else {
 			res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers})
@@ -667,6 +717,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		sl := core.New(model, lib)
 		sl.Workers = granted
+		sl.Batch = s.batcherFor(model)
 		cls, err := sl.ClassifyContext(ctx, g)
 		if cls != nil {
 			s.metrics.AddCuts(cls.TotalCuts)

@@ -583,3 +583,74 @@ func truncateStr(s string, n int) string {
 	}
 	return s[:n]
 }
+
+// TestInferBatchMetricsExported drives classification and slap mapping with
+// the default micro-batching enabled and checks the coalescer's flush
+// telemetry reaches /metrics: batch-size histogram, queue-wait histogram and
+// per-reason flush counters.
+func TestInferBatchMetricsExported(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postRaw(t, ts.URL+"/v1/classify?model=toy", rc16Text(t))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("classify: status %d (%s)", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+	resp, data := postRaw(t, ts.URL+"/v1/map?policy=slap&model=toy", rc16Text(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map: status %d (%s)", resp.StatusCode, data)
+	}
+
+	respM, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(respM.Body)
+	respM.Body.Close()
+	text := string(body)
+
+	for _, want := range []string{
+		`slap_infer_batch_size_bucket{le="1"}`,
+		`slap_infer_batch_size_bucket{le="+Inf"}`,
+		`slap_infer_queue_wait_seconds_bucket{le="+Inf"}`,
+		`slap_infer_flushes_total{reason="size"}`,
+		`slap_infer_flushes_total{reason="deadline"}`,
+		`slap_infer_flushes_total{reason="drain"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if v := metricsGauge(t, text, "slap_infer_batch_size_count"); v <= 0 {
+		t.Errorf("slap_infer_batch_size_count = %v, want > 0 after batched inference", v)
+	}
+	if v := metricsGauge(t, text, "slap_infer_batch_size_sum"); v <= 0 {
+		t.Errorf("slap_infer_batch_size_sum = %v, want > 0", v)
+	}
+}
+
+// TestBatchingDisabled checks MaxBatch < 0 falls back to per-sample inference
+// (no flushes recorded) while requests still succeed.
+func TestBatchingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: -1})
+	resp, data := postRaw(t, ts.URL+"/v1/classify?model=toy", rc16Text(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify: status %d (%s)", resp.StatusCode, data)
+	}
+	respM, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(respM.Body)
+	respM.Body.Close()
+	if v := metricsGauge(t, string(body), "slap_infer_batch_size_count"); v != 0 {
+		t.Errorf("batching disabled but %v flushes recorded", v)
+	}
+}
