@@ -202,16 +202,33 @@ func BenchmarkCutEnumeration(b *testing.B) {
 }
 
 // BenchmarkEndToEndSLAPMap measures the complete SLAP mapping flow on a
-// mid-size multiplier.
+// mid-size multiplier under both pipelines. two-phase enumerates every cut
+// before matching; streaming fuses matching into the enumeration wavefront,
+// retires cut storage level by level, and reuses a pooled arena across
+// iterations — the results are byte-identical, only time/allocations
+// differ.
 func BenchmarkEndToEndSLAPMap(b *testing.B) {
 	tr := sharedTraining(b)
 	g := circuits.ArrayMultiplier(8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := tr.SLAP.Map(g); err != nil {
-			b.Fatal(err)
+	b.Run("two-phase", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.SLAP.Map(g); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := cuts.NewPool(1)
+		tr.SLAP.Pool = pool
+		defer func() { tr.SLAP.Pool = nil }()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.SLAP.MapStream(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTrainingDataGeneration isolates the random-shuffle mapping

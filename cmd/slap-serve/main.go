@@ -69,20 +69,26 @@ func main() {
 		jobKeep   = flag.Duration("job-retention", server.DefaultJobRetention, "how long finished dataset jobs (and their shard directories) are kept; negative keeps them forever")
 		batch     = flag.Int("batch", infer.DefaultMaxBatch, "inference coalescing batch size shared across slap/classify requests (negative disables batching)")
 		batchWait = flag.Duration("batch-wait", infer.DefaultMaxWait, "max wait for an inference batch to fill before flushing")
+		adaptive  = flag.Bool("adaptive-batch-wait", true, "derive the inference flush deadline from the observed arrival rate (clamped to -batch-wait)")
+		streaming = flag.Bool("streaming", true, "fused streaming mapping pipeline (matching inside the cut wavefront); false = two-phase enumerate-then-match")
+		arenas    = flag.Int("arena-cache", 0, "cut arenas cached across requests for same-graph reuse (0 = default, negative disables)")
 	)
 	flag.Var(&models, "model", "model to preload, as name=path or path (repeatable)")
 	flag.Var(&libs, "lib", "genlib-like library to preload, as name=path or path (repeatable)")
 	flag.Parse()
 
 	cfg := server.Config{
-		WorkerBudget:   *workers,
-		QueueCap:       *queueCap,
-		DefaultTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		JobsDir:        *jobsDir,
-		JobRetention:   *jobKeep,
-		MaxBatch:       *batch,
-		BatchWait:      *batchWait,
+		WorkerBudget:      *workers,
+		QueueCap:          *queueCap,
+		DefaultTimeout:    *timeout,
+		MaxBodyBytes:      *maxBody,
+		JobsDir:           *jobsDir,
+		JobRetention:      *jobKeep,
+		MaxBatch:          *batch,
+		BatchWait:         *batchWait,
+		AdaptiveBatchWait: *adaptive,
+		DisableStreaming:  !*streaming,
+		ArenaCache:        *arenas,
 	}
 	if err := run(*addr, models, libs, cfg, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "slap-serve:", err)

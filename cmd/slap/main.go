@@ -44,6 +44,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "cut-enumeration/inference workers (0 = all CPU cores, 1 = sequential)")
 		batch       = flag.Int("batch", 256, "batched-inference flush size for -policy slap (negative = per-sample inference)")
 		batchWait   = flag.Duration("batch-wait", time.Millisecond, "max wait for an inference batch to fill before flushing")
+		streaming   = flag.Bool("streaming", true, "fused streaming pipeline: match cuts inside the enumeration wavefront and retire their storage level by level (false = two-phase enumerate-then-match)")
 		verify      = flag.Bool("verify", true, "check mapped netlist equivalence against the AIG")
 		listNames   = flag.Bool("list", false, "list built-in circuit names and exit")
 		showCells   = flag.Bool("cells", false, "print the cell-type histogram")
@@ -57,7 +58,7 @@ func main() {
 		circuit: *circuitName, aag: *aagPath, profile: *profileName,
 		policy: *policyName, model: *modelPath, lib: *libPath,
 		seed: *seed, limit: *limit, workers: *workers, batch: *batch, batchWait: *batchWait,
-		verify: *verify, list: *listNames,
+		streaming: *streaming, verify: *verify, list: *listNames,
 		cells: *showCells, verilog: *verilogOut, blif: *blifOut, report: *report,
 		stdin: os.Stdin,
 	}); err != nil {
@@ -72,6 +73,7 @@ type runConfig struct {
 	seed                                      int64
 	limit, workers, batch                     int
 	batchWait                                 time.Duration
+	streaming                                 bool
 	verify, list, cells, report               bool
 	verilog, blif                             string
 	// stdin backs -aag "-"; nil falls back to os.Stdin.
@@ -104,14 +106,22 @@ func run(cfg runConfig) error {
 	}
 	fmt.Printf("circuit: %s\n", g.Stats())
 
+	// The fused streaming pipeline and the two-phase flow produce
+	// byte-identical results; streaming only changes peak memory, so it is
+	// safe as the default.
+	mapASIC := mapper.Map
+	if cfg.streaming {
+		mapASIC = mapper.MapStream
+	}
+
 	var res *mapper.Result
 	switch policyName {
 	case "default":
-		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.DefaultPolicy{Limit: limit}, Workers: cfg.workers})
+		res, err = mapASIC(g, mapper.Options{Library: lib, Policy: cuts.DefaultPolicy{Limit: limit}, Workers: cfg.workers})
 	case "unlimited":
-		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cuts.UnlimitedPolicy{}, Workers: cfg.workers})
+		res, err = mapASIC(g, mapper.Options{Library: lib, Policy: cuts.UnlimitedPolicy{}, Workers: cfg.workers})
 	case "shuffle":
-		res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: &cuts.ShufflePolicy{
+		res, err = mapASIC(g, mapper.Options{Library: lib, Policy: &cuts.ShufflePolicy{
 			Rng:   rand.New(rand.NewSource(seed)),
 			Limit: limit,
 		}, Workers: cfg.workers})
@@ -138,7 +148,11 @@ func run(cfg runConfig) error {
 			defer co.Close()
 			s.Batch = co
 		}
-		res, err = s.Map(g)
+		if cfg.streaming {
+			res, err = s.MapStream(g)
+		} else {
+			res, err = s.Map(g)
+		}
 	default:
 		return fmt.Errorf("unknown policy %q", policyName)
 	}
@@ -151,7 +165,7 @@ func run(cfg runConfig) error {
 	fmt.Printf("delay:   %.2f ps\n", res.Delay)
 	fmt.Printf("ADP:     %.1f\n", res.ADP())
 	fmt.Printf("cells:   %d\n", res.Netlist.NumCells())
-	fmt.Printf("cuts:    %d considered, %d match attempts\n", res.CutsConsidered, res.MatchAttempts)
+	fmt.Printf("cuts:    %d considered (peak %d live), %d match attempts\n", res.CutsConsidered, res.PeakCuts, res.MatchAttempts)
 	if showCells {
 		for name, n := range res.Netlist.CellCounts() {
 			fmt.Printf("  %-10s %d\n", name, n)

@@ -24,6 +24,16 @@ func TestRunShuffleAndCells(t *testing.T) {
 	}
 }
 
+// TestRunStreaming drives the default fused-pipeline path (the -streaming
+// flag is on unless disabled) with equivalence checking for every policy.
+func TestRunStreaming(t *testing.T) {
+	for _, policy := range []string{"default", "shuffle", "unlimited"} {
+		if err := run(runConfig{circuit: "rc64b", profile: "fast", policy: policy, seed: 3, streaming: true, verify: true}); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+	}
+}
+
 func TestRunList(t *testing.T) {
 	if err := run(runConfig{profile: "fast", policy: "default", seed: 1, list: true}); err != nil {
 		t.Fatal(err)

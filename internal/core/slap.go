@@ -73,6 +73,37 @@ type SLAP struct {
 	// order, so filtering decisions — and hence mapping QoR — are identical
 	// either way.
 	Batch Batcher
+	// Pool, when set, lets the fused streaming flow (MapStreamContext /
+	// MapLUTStreamContext) recycle cut-arena storage across runs of the
+	// same graph shape. The two-phase flow ignores it.
+	Pool *cuts.Pool
+}
+
+// inferScratch is one worker's reusable embedding storage: a single-sample
+// buffer for the per-sample path and a growable slab for whole-node batch
+// submissions. CutInto overwrites every position and the model never
+// retains its input, so reuse across cuts and nodes is exact.
+type inferScratch struct {
+	x    []float64
+	slab []float64
+	xs   [][]float64
+}
+
+func (sc *inferScratch) sample() []float64 {
+	if sc.x == nil {
+		sc.x = make([]float64, embed.Size)
+	}
+	return sc.x
+}
+
+func (sc *inferScratch) batch(n int) ([]float64, [][]float64) {
+	if cap(sc.slab) < n*embed.Size {
+		sc.slab = make([]float64, n*embed.Size)
+	}
+	if cap(sc.xs) < n {
+		sc.xs = make([][]float64, n)
+	}
+	return sc.slab[:n*embed.Size], sc.xs[:n]
 }
 
 // Batcher classifies batches of cut embeddings. It is satisfied by
@@ -303,12 +334,13 @@ func (s *SLAP) FilterCutsContext(ctx context.Context, g *aig.AIG) (*cuts.Result,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sc := &inferScratch{}
 			for ni := w; ni < len(nodes); ni += workers {
 				if cctx.Err() != nil {
 					return
 				}
 				n := nodes[ni]
-				out, err := s.filterNode(cctx, emb, n, res.Sets[n])
+				out, err := s.filterNode(cctx, emb, n, res.Sets[n], sc)
 				if err != nil {
 					// First failure wins and cancels the siblings — e.g. a
 					// batching backend closing mid-map.
@@ -346,12 +378,13 @@ func nonTrivialIdx(n uint32, cs []cuts.Cut) []int {
 	return idx
 }
 
-// batchProbs embeds the cuts selected by idx into one contiguous slab and
-// classifies them with a single PredictBatch submission, so the batching
-// backend sees a whole node's cuts at once.
-func (s *SLAP) batchProbs(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut, idx []int) ([][]float64, error) {
-	slab := make([]float64, len(idx)*embed.Size)
-	xs := make([][]float64, len(idx))
+// batchProbs embeds the cuts selected by idx into the worker's reusable
+// slab and classifies them with a single PredictBatch submission, so the
+// batching backend sees a whole node's cuts at once. PredictBatch blocks
+// until the batch is computed and the backend keeps no reference to the
+// inputs afterwards, so the slab is free for the worker's next node.
+func (s *SLAP) batchProbs(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut, idx []int, sc *inferScratch) ([][]float64, error) {
+	slab, xs := sc.batch(len(idx))
 	for k, i := range idx {
 		x := slab[k*embed.Size : (k+1)*embed.Size]
 		emb.CutInto(n, &cs[i], x)
@@ -363,19 +396,21 @@ func (s *SLAP) batchProbs(ctx context.Context, emb *embed.Embedder, n uint32, cs
 // scoreCuts returns the QoR score of every non-trivial cut of n: scores[k]
 // belongs to cs[idx[k]]. With a Batcher set, the node's embeddings go out
 // as one batch; otherwise each cut runs the per-sample forward pass.
-func (s *SLAP) scoreCuts(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut) (idx []int, scores []float64, err error) {
+func (s *SLAP) scoreCuts(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut, sc *inferScratch) (idx []int, scores []float64, err error) {
 	idx = nonTrivialIdx(n, cs)
 	if len(idx) == 0 {
 		return idx, nil, nil
 	}
 	scores = make([]float64, len(idx))
 	if s.Batch == nil {
+		x := sc.sample()
 		for k, i := range idx {
-			scores[k] = s.predictScore(emb.Cut(n, &cs[i]))
+			emb.CutInto(n, &cs[i], x)
+			scores[k] = s.predictScore(x)
 		}
 		return idx, scores, nil
 	}
-	probs, err := s.batchProbs(ctx, emb, n, cs, idx)
+	probs, err := s.batchProbs(ctx, emb, n, cs, idx, sc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -390,8 +425,8 @@ func (s *SLAP) scoreCuts(ctx context.Context, emb *embed.Embedder, n uint32, cs 
 // exist, otherwise the "average" cuts (class <= AvgMax), otherwise only the
 // trivial cut. Kept cuts are ordered by predicted quality and capped at
 // MaxCutsPerNode — the learned priority-cuts ranking.
-func (s *SLAP) filterNode(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut) ([]cuts.Cut, error) {
-	idx, scores, err := s.scoreCuts(ctx, emb, n, cs)
+func (s *SLAP) filterNode(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut, sc *inferScratch) ([]cuts.Cut, error) {
+	idx, scores, err := s.scoreCuts(ctx, emb, n, cs, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -552,12 +587,13 @@ func (s *SLAP) ClassifyContext(ctx context.Context, g *aig.AIG) (*Classification
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sc := &inferScratch{}
 			for ni := w; ni < len(nodes); ni += workers {
 				if cctx.Err() != nil {
 					return
 				}
 				n := nodes[ni]
-				classes, err := s.classifyNode(cctx, emb, n, res.Sets[n])
+				classes, err := s.classifyNode(cctx, emb, n, res.Sets[n], sc)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err; cancel() })
 					return
@@ -587,19 +623,21 @@ func (s *SLAP) ClassifyContext(ctx context.Context, g *aig.AIG) (*Classification
 
 // classifyNode predicts the class of every non-trivial cut of n, via one
 // batched submission when a Batcher is set.
-func (s *SLAP) classifyNode(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut) ([]int, error) {
+func (s *SLAP) classifyNode(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut, sc *inferScratch) ([]int, error) {
 	idx := nonTrivialIdx(n, cs)
 	classes := make([]int, len(idx))
 	if len(idx) == 0 {
 		return classes, nil
 	}
 	if s.Batch == nil {
+		x := sc.sample()
 		for k, i := range idx {
-			classes[k] = s.Model.PredictClass(emb.Cut(n, &cs[i]))
+			emb.CutInto(n, &cs[i], x)
+			classes[k] = s.Model.PredictClass(x)
 		}
 		return classes, nil
 	}
-	probs, err := s.batchProbs(ctx, emb, n, cs, idx)
+	probs, err := s.batchProbs(ctx, emb, n, cs, idx, sc)
 	if err != nil {
 		return nil, err
 	}

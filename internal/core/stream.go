@@ -1,0 +1,179 @@
+// Fused SLAP mapping: enumeration, ML cut filtering and Boolean matching
+// run as one streaming pipeline over the level wavefront. Each completed
+// level is classified in parallel by the inference workers (per-sample or
+// batched, exactly as the two-phase flow), the filtered lists feed the
+// incremental mapper on the spot, and the enumerator retires the level's
+// cut storage — so the full cut universe is never materialised. Filtering
+// decisions are per-node deterministic, so the fused result is
+// byte-identical to FilterCuts + Map.
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"slap/internal/aig"
+	"slap/internal/cuts"
+	"slap/internal/embed"
+	"slap/internal/lutmap"
+	"slap/internal/mapper"
+)
+
+// MapStream is MapContext's fused streaming equivalent over a background
+// context.
+func (s *SLAP) MapStream(g *aig.AIG) (*mapper.Result, error) {
+	return s.MapStreamContext(context.Background(), g)
+}
+
+// MapStreamContext runs the full SLAP flow on g as a fused pipeline:
+// matching consumes each level's ML-filtered cuts as the wavefront
+// produces them. The Result is byte-identical to MapContext.
+func (s *SLAP) MapStreamContext(ctx context.Context, g *aig.AIG) (*mapper.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st, err := mapper.NewStream(g, mapper.Options{Library: s.Library})
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.streamFiltered(ctx, g, st.ConsumeNode)
+	if err != nil {
+		return nil, err
+	}
+	st.SetPeakCuts(res.PeakCuts)
+	r, err := st.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r.PolicyName = "slap"
+	return r, nil
+}
+
+// MapLUTStream is MapLUTContext's fused streaming equivalent.
+func (s *SLAP) MapLUTStream(g *aig.AIG) (*lutmap.Result, error) {
+	return s.MapLUTStreamContext(context.Background(), g)
+}
+
+// MapLUTStreamContext runs the SLAP flow against the K-LUT mapper as a
+// fused pipeline, byte-identical to MapLUTContext.
+func (s *SLAP) MapLUTStreamContext(ctx context.Context, g *aig.AIG) (*lutmap.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := lutmap.NewStream(g, lutmap.Options{})
+	res, err := s.streamFiltered(ctx, g, st.ConsumeNode)
+	if err != nil {
+		return nil, err
+	}
+	st.SetPeakCuts(res.PeakCuts)
+	r, err := st.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r.PolicyName = "slap"
+	return r, nil
+}
+
+// streamFiltered drives the fused enumerate→classify→consume pipeline:
+// exhaustive streaming enumeration (the same UnlimitedPolicy universe as
+// FilterCutsContext), per-level parallel ML filtering with per-worker
+// reusable embedding buffers, and a sequential consume of the filtered
+// lists in ascending node order (the order the two-phase mapper sees).
+// When s.Pool is set, cut storage is checked out of the arena pool and
+// recycled across runs of the same graph.
+func (s *SLAP) streamFiltered(ctx context.Context, g *aig.AIG, consume func(uint32, []cuts.Cut)) (*cuts.Result, error) {
+	emb := embed.NewEmbedder(g)
+	emb.PrecomputeAll()
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scratches := make([]*inferScratch, workers)
+	for i := range scratches {
+		scratches[i] = &inferScratch{}
+	}
+	filtered := make([][]cuts.Cut, g.NumNodes())
+
+	var arena *cuts.Arena
+	if s.Pool != nil {
+		arena = s.Pool.Get(g)
+		defer s.Pool.Put(arena)
+	}
+	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap, Workers: s.Workers, Arena: arena}
+
+	sink := func(_ int32, nodes []uint32, sets [][]cuts.Cut) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if workers == 1 || len(nodes) < 2 {
+			sc := scratches[0]
+			for _, n := range nodes {
+				out, err := s.filterNode(ctx, emb, n, sets[n], sc)
+				if err != nil {
+					return err
+				}
+				filtered[n] = out
+			}
+		} else if err := s.filterLevel(ctx, emb, nodes, sets, filtered, scratches); err != nil {
+			return err
+		}
+		// The filtered lists hold durable leaves only after the consumer
+		// copies them; consume before the enumerator retires the level.
+		for _, n := range nodes {
+			consume(n, filtered[n])
+			filtered[n] = nil
+		}
+		return nil
+	}
+	res, err := enum.RunStream(sink)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// filterLevel classifies one level's nodes across the inference workers,
+// mirroring FilterCutsContext's strided worker loop (including the
+// first-error-wins cancellation of a failing batch backend).
+func (s *SLAP) filterLevel(ctx context.Context, emb *embed.Embedder, nodes []uint32, sets, filtered [][]cuts.Cut, scratches []*inferScratch) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	workers := len(scratches)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := scratches[w]
+			for ni := w; ni < len(nodes); ni += workers {
+				if cctx.Err() != nil {
+					return
+				}
+				n := nodes[ni]
+				out, err := s.filterNode(cctx, emb, n, sets[n], sc)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+				filtered[n] = out
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}

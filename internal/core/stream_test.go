@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"slap/internal/aig"
+	"slap/internal/circuits"
+	"slap/internal/cuts"
+	"slap/internal/infer"
+	"slap/internal/lutmap"
+	"slap/internal/mapper"
+)
+
+func requireSameStreamResult(t *testing.T, name string, want, got *mapper.Result) {
+	t.Helper()
+	if want.Delay != got.Delay || want.Area != got.Area || want.EstimatedDelay != got.EstimatedDelay {
+		t.Fatalf("%s: (delay, area, est) = (%v, %v, %v), want (%v, %v, %v)",
+			name, got.Delay, got.Area, got.EstimatedDelay, want.Delay, want.Area, want.EstimatedDelay)
+	}
+	if want.CutsConsidered != got.CutsConsidered {
+		t.Fatalf("%s: cuts considered %d, want %d", name, got.CutsConsidered, want.CutsConsidered)
+	}
+	if want.MatchAttempts != got.MatchAttempts {
+		t.Fatalf("%s: match attempts %d, want %d", name, got.MatchAttempts, want.MatchAttempts)
+	}
+	if got.PolicyName != "slap" {
+		t.Fatalf("%s: policy %q, want slap", name, got.PolicyName)
+	}
+	var wb, gb bytes.Buffer
+	if err := want.Netlist.WriteBLIF(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Netlist.WriteBLIF(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb.Bytes(), gb.Bytes()) {
+		t.Fatalf("%s: netlist bytes differ", name)
+	}
+}
+
+// TestMapStreamMatchesMapContext pins the fused SLAP pipeline to the
+// two-phase flow: identical netlist bytes, metrics and counters, for both
+// the per-sample and batched inference backends, across worker counts and
+// arena pooling.
+func TestMapStreamMatchesMapContext(t *testing.T) {
+	graphs := []*circuitCase{
+		{"rc16", circuits.TrainRC16()},
+		{"booth6", circuits.BoothMultiplier(6)},
+		{"rand", circuits.RandomAIG(5, 20, 500)},
+	}
+	for _, gc := range graphs {
+		s := untrained(3)
+		want, err := s.MapContext(context.Background(), gc.g)
+		if err != nil {
+			t.Fatalf("%s: MapContext: %v", gc.name, err)
+		}
+		pool := cuts.NewPool(2)
+		for _, workers := range []int{1, 2, 4} {
+			for _, pooled := range []bool{false, true} {
+				s2 := untrained(3)
+				s2.Workers = workers
+				if pooled {
+					s2.Pool = pool
+				}
+				got, err := s2.MapStreamContext(context.Background(), gc.g)
+				if err != nil {
+					t.Fatalf("%s: MapStreamContext: %v", gc.name, err)
+				}
+				requireSameStreamResult(t, fmt.Sprintf("%s/workers=%d/pool=%v", gc.name, workers, pooled), want, got)
+			}
+		}
+	}
+}
+
+type circuitCase struct {
+	name string
+	g    *aig.AIG
+}
+
+// TestMapStreamBatchedBackend drives the fused pipeline through the
+// batched inference engine and the coalescer — the per-level Batch hook —
+// and requires byte-identity with the per-sample fused run.
+func TestMapStreamBatchedBackend(t *testing.T) {
+	g := circuits.BoothMultiplier(6)
+	s := untrained(7)
+	want, err := s.MapStreamContext(context.Background(), g)
+	if err != nil {
+		t.Fatalf("per-sample MapStream: %v", err)
+	}
+
+	eng := infer.NewEngine(s.Model, infer.Options{})
+	sEng := untrained(7)
+	sEng.Batch = eng
+	sEng.Workers = 2
+	got, err := sEng.MapStreamContext(context.Background(), g)
+	if err != nil {
+		t.Fatalf("engine MapStream: %v", err)
+	}
+	requireSameStreamResult(t, "engine", want, got)
+
+	co := infer.NewCoalescer(eng, infer.CoalescerOptions{MaxBatch: 32, MaxWait: 200 * time.Microsecond})
+	defer co.Close()
+	sCo := untrained(7)
+	sCo.Batch = co
+	sCo.Workers = 2
+	got, err = sCo.MapStreamContext(context.Background(), g)
+	if err != nil {
+		t.Fatalf("coalescer MapStream: %v", err)
+	}
+	requireSameStreamResult(t, "coalescer", want, got)
+}
+
+// TestMapLUTStreamMatchesTwoPhase covers the fused LUT flow.
+func TestMapLUTStreamMatchesTwoPhase(t *testing.T) {
+	g := circuits.BoothMultiplier(6)
+	s := untrained(9)
+	want, err := s.MapLUTContext(context.Background(), g)
+	if err != nil {
+		t.Fatalf("MapLUTContext: %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		s2 := untrained(9)
+		s2.Workers = workers
+		s2.Pool = cuts.NewPool(1)
+		got, err := s2.MapLUTStreamContext(context.Background(), g)
+		if err != nil {
+			t.Fatalf("MapLUTStreamContext: %v", err)
+		}
+		if want.Depth != got.Depth || want.NumLUTs() != got.NumLUTs() || want.CutsConsidered != got.CutsConsidered {
+			t.Fatalf("workers=%d: (depth %d, luts %d, cuts %d), want (%d, %d, %d)",
+				workers, got.Depth, got.NumLUTs(), got.CutsConsidered,
+				want.Depth, want.NumLUTs(), want.CutsConsidered)
+		}
+		if err := equalLUTs(want, got); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func equalLUTs(a, b *lutmap.Result) error {
+	for i := range a.LUTs {
+		x, y := &a.LUTs[i], &b.LUTs[i]
+		if x.Root != y.Root || x.TT != y.TT || len(x.Leaves) != len(y.Leaves) {
+			return fmt.Errorf("LUT[%d] differs: %d/%v vs %d/%v", i, x.Root, x.Leaves, y.Root, y.Leaves)
+		}
+		for j := range x.Leaves {
+			if x.Leaves[j] != y.Leaves[j] {
+				return fmt.Errorf("LUT[%d] leaves %v vs %v", i, x.Leaves, y.Leaves)
+			}
+		}
+	}
+	return nil
+}
+
+// TestMapStreamCancellation verifies ctx cancellation propagates out of
+// the fused pipeline.
+func TestMapStreamCancellation(t *testing.T) {
+	g := circuits.BoothMultiplier(6)
+	s := untrained(11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.MapStreamContext(ctx, g); err != context.Canceled {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+}

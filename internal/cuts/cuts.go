@@ -197,6 +197,11 @@ type Result struct {
 	// TotalCuts is the number of cuts exposed to the mapper, the paper's
 	// "Cuts Used" memory-footprint metric.
 	TotalCuts int
+	// PeakCuts is the maximum number of cuts simultaneously retained during
+	// enumeration. Run holds every cut until the end, so it equals
+	// TotalCuts; RunStream retires levels as their consumers complete and
+	// reports the widest live window.
+	PeakCuts int
 }
 
 // Enumerator computes k-feasible cuts for every node of an AIG under a
@@ -216,6 +221,10 @@ type Enumerator struct {
 	// runs additionally require a parallel-safe policy (see ParallelSafe)
 	// and degrade to sequential otherwise.
 	Workers int
+	// Arena, when non-nil, provides pooled cut storage for RunStream so a
+	// repeated mapping of the same graph shape allocates nothing in steady
+	// state (see Pool). Run ignores it.
+	Arena *Arena
 
 	// s is the sequential/owner scratch, shared with worker 0.
 	s *scratch
@@ -269,6 +278,7 @@ func (e *Enumerator) Run() *Result {
 			res.TotalCuts += len(res.Sets[n])
 		}
 	}
+	res.PeakCuts = res.TotalCuts
 	return res
 }
 
@@ -358,7 +368,15 @@ func (e *Enumerator) processNode(s *scratch, res *Result, n uint32, capN int) {
 	if e.Policy != nil {
 		cs = e.Policy.Process(e.G, n, cs)
 	}
-	cs = ensureTrivial(n, cs)
+	cs = s.ensureTrivialCut(n, cs)
+	if s.a != nil {
+		// Record the block backing this node's list so level retirement can
+		// recycle it. Policies keep the merge array (sort/filter/truncate in
+		// place), so cs still views the checked-out block; if a policy ever
+		// substituted its own array, putCutBlock's power-of-two check drops
+		// it to the garbage collector instead.
+		s.a.blocks[n] = cs
+	}
 	res.Sets[n] = cs
 }
 
@@ -378,6 +396,107 @@ func ensureTrivial(n uint32, cs []Cut) []Cut {
 		}
 	}
 	return append(cs, trivialCut(n))
+}
+
+// ensureTrivialCut is ensureTrivial with arena-backed storage: the appended
+// trivial cut's leaf slice is interned and the cut block is grown through
+// the arena instead of the heap.
+func (s *scratch) ensureTrivialCut(n uint32, cs []Cut) []Cut {
+	if s.a == nil {
+		return ensureTrivial(n, cs)
+	}
+	for i := range cs {
+		if cs[i].IsTrivial(n) {
+			return cs
+		}
+	}
+	if len(cs) == cap(cs) {
+		cs = s.growCutList(cs)
+	}
+	one := [1]uint32{n}
+	return append(cs, Cut{
+		Leaves: s.internLeaves(one[:]),
+		Sig:    leafSig(one[:]),
+		TT:     tt.Var(0),
+		Volume: 0,
+	})
+}
+
+// growCutList moves cs into a larger arena block, recycling the old one.
+// Only the merge pipeline of the current node references cs, so the old
+// block is safe to hand back immediately.
+func (s *scratch) growCutList(cs []Cut) []Cut {
+	want := 2 * cap(cs)
+	if want == 0 {
+		want = 1
+	}
+	nb := s.a.getCutBlock(want)
+	nb = nb[:len(cs)]
+	copy(nb, cs)
+	s.a.putCutBlock(cs)
+	return nb
+}
+
+// beginLevel scopes subsequently filled leaf chunks to level l (level-order
+// streaming): the partial chunk in flight still belongs to the previous
+// scope and is flushed there first.
+func (s *scratch) beginLevel(l int32) {
+	s.flushChunk()
+	s.curLevel = l
+}
+
+// flushChunk registers the current partial leaf chunk under the active
+// scope so it can be recycled, and detaches it. Without an arena the chunk
+// is simply dropped to the garbage collector (pre-arena behaviour).
+func (s *scratch) flushChunk() {
+	if cap(s.arena) == 0 {
+		s.arena = nil
+		return
+	}
+	if s.a != nil {
+		if s.curLevel >= 0 {
+			s.chunksByLevel[s.curLevel] = append(s.chunksByLevel[s.curLevel], s.arena)
+		} else {
+			s.runChunks = append(s.runChunks, s.arena)
+		}
+	}
+	s.arena = nil
+}
+
+// releaseLevelChunks recycles the leaf chunks scoped to a retired level.
+func (s *scratch) releaseLevelChunks(l int32) {
+	if s.a == nil || int(l) >= len(s.chunksByLevel) {
+		return
+	}
+	if s.curLevel == l {
+		s.flushChunk()
+	}
+	for _, ch := range s.chunksByLevel[l] {
+		s.a.putLeafChunk(ch)
+	}
+	s.chunksByLevel[l] = s.chunksByLevel[l][:0]
+}
+
+// reclaimChunks returns every outstanding leaf chunk to the arena (end of a
+// run, or Arena reclaim after an aborted one).
+func (s *scratch) reclaimChunks() {
+	if s.a == nil {
+		return
+	}
+	s.flushChunk()
+	for i, ch := range s.runChunks {
+		s.a.putLeafChunk(ch)
+		s.runChunks[i] = nil
+	}
+	s.runChunks = s.runChunks[:0]
+	for l := range s.chunksByLevel {
+		for i, ch := range s.chunksByLevel[l] {
+			s.a.putLeafChunk(ch)
+			s.chunksByLevel[l][i] = nil
+		}
+		s.chunksByLevel[l] = s.chunksByLevel[l][:0]
+	}
+	s.curLevel = -1
 }
 
 // scratch is the per-worker mutable state of enumeration. Everything is
@@ -405,6 +524,15 @@ type scratch struct {
 	// arena provides leaf-slice storage for accepted cuts in chunked
 	// bulk allocations.
 	arena []uint32
+
+	// a, when non-nil, supplies pooled blocks and chunks (streaming runs).
+	// curLevel scopes filled leaf chunks: >= 0 registers them per level in
+	// chunksByLevel so retirement can recycle them; -1 (index-order driver
+	// and MakeCut) accumulates them in runChunks until Arena reclaim.
+	a             *Arena
+	curLevel      int32
+	chunksByLevel [][][]uint32
+	runChunks     [][]uint32
 }
 
 const arenaChunk = 4096
@@ -430,7 +558,12 @@ func (s *scratch) mergeNode(n uint32, cs0, cs1 []Cut, capN int) []Cut {
 	if est > capN {
 		est = capN
 	}
-	out := make([]Cut, 0, est+1)
+	var out []Cut
+	if s.a != nil {
+		out = s.a.getCutBlock(est + 1)
+	} else {
+		out = make([]Cut, 0, est+1)
+	}
 	s.resetTable(est)
 	var buf [K]uint32
 	for i := range cs0 {
@@ -454,6 +587,9 @@ func (s *scratch) mergeNode(n uint32, cs0, cs1 []Cut, capN int) []Cut {
 			// variable. Cone evaluation also yields the volume in the same
 			// traversal.
 			f, vol := s.coneTT(n, leaves)
+			if s.a != nil && len(out) == cap(out) {
+				out = s.growCutList(out)
+			}
 			out = append(out, Cut{
 				Leaves: s.internLeaves(leaves),
 				Sig:    leafSig(leaves),
@@ -547,7 +683,12 @@ func (s *scratch) growTable(out []Cut) {
 // cut.
 func (s *scratch) internLeaves(src []uint32) []uint32 {
 	if cap(s.arena)-len(s.arena) < len(src) {
-		s.arena = make([]uint32, 0, arenaChunk)
+		if s.a != nil {
+			s.flushChunk()
+			s.arena = s.a.getLeafChunk()
+		} else {
+			s.arena = make([]uint32, 0, arenaChunk)
+		}
 	}
 	i := len(s.arena)
 	s.arena = append(s.arena, src...)
@@ -626,11 +767,27 @@ func FilterDominatedFor(root uint32, cs []Cut) []Cut {
 	return filterDominated(root, cs)
 }
 
+// filterDominated decides every dominance relation against the pristine
+// input before compacting. The compaction loop must not start while
+// comparisons are still running: compacting in place shifts kept cuts into
+// slots the inner loop has yet to read, so a later iteration — including
+// one observed concurrently by a streaming consumer — could compare against
+// a transiently reordered list. Order is preserved, so a list canonical
+// under SortByLeaves stays canonical.
 func filterDominated(root uint32, cs []Cut) []Cut {
-	out := cs[:0]
+	n := len(cs)
+	if n < 2 {
+		return cs
+	}
+	var stack [4]uint64
+	var drop []uint64
+	if n <= 256 {
+		drop = stack[:]
+	} else {
+		drop = make([]uint64, (n+63)/64)
+	}
 	for i := range cs {
 		ci := &cs[i]
-		dominated := false
 		for j := range cs {
 			if i == j {
 				continue
@@ -648,11 +805,14 @@ func filterDominated(root uint32, cs []Cut) []Cut {
 				if len(cj.Leaves) == len(ci.Leaves) && j > i {
 					continue
 				}
-				dominated = true
+				drop[i>>6] |= 1 << (uint(i) & 63)
 				break
 			}
 		}
-		if !dominated {
+	}
+	out := cs[:0]
+	for i := range cs {
+		if drop[i>>6]&(1<<(uint(i)&63)) == 0 {
 			out = append(out, cs[i])
 		}
 	}

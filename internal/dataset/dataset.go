@@ -313,6 +313,11 @@ func GenerateOutcomes(ctx context.Context, cfg Config, circuit, start, end int) 
 	g := cfg.Circuits[circuit]
 	seed := circuitSeed(cfg.Seed, circuit)
 
+	// Every mapping in the sweep re-maps the same graph, so a shared arena
+	// pool lets all but the first few checkouts reuse cut storage outright;
+	// one spare arena keeps a full complement available while a finished
+	// mapping's arena is in flight back to the pool.
+	pool := cuts.NewPool(cfg.Workers + 1)
 	outcomes := make([]MapOutcome, end-start)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
@@ -324,7 +329,7 @@ func GenerateOutcomes(ctx context.Context, cfg Config, circuit, start, end int) 
 		sem <- struct{}{}
 		go func(i int) {
 			defer func() { <-sem; wg.Done() }()
-			outcomes[i-start] = runOneMap(g, cfg, seed+int64(i))
+			outcomes[i-start] = runOneMap(g, cfg, pool, seed+int64(i))
 		}(i)
 	}
 	wg.Wait()
@@ -335,15 +340,17 @@ func GenerateOutcomes(ctx context.Context, cfg Config, circuit, start, end int) 
 }
 
 // runOneMap executes one random-shuffle mapping and harvests its cuts.
-func runOneMap(g *aig.AIG, cfg Config, policySeed int64) MapOutcome {
+func runOneMap(g *aig.AIG, cfg Config, pool *cuts.Pool, policySeed int64) MapOutcome {
 	policy := &cuts.ShufflePolicy{
 		Rng:   rand.New(rand.NewSource(policySeed)),
 		Limit: cfg.ShuffleLimit,
 	}
 	// Workers: 1 — the mappings themselves already saturate the worker
 	// pool, and the shuffle policy's RNG sequence requires sequential
-	// enumeration anyway.
-	res, err := mapper.Map(g, mapper.Options{Library: cfg.Library, Policy: policy, Workers: 1})
+	// enumeration anyway. The streaming pipeline is byte-identical to
+	// two-phase Map, so labels depend only on (seed, circuit, index) as
+	// before.
+	res, err := mapper.MapStream(g, mapper.Options{Library: cfg.Library, Policy: policy, Workers: 1, Pool: pool})
 	if err != nil {
 		return MapOutcome{Skipped: true, Err: err.Error()}
 	}

@@ -3,6 +3,7 @@ package infer
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -48,6 +49,13 @@ type CoalescerOptions struct {
 	// it, submitters block — the backpressure that keeps a burst from
 	// buffering unboundedly ahead of the backend.
 	QueueCap int
+	// AdaptiveWait derives the flush deadline from an EWMA of the observed
+	// inter-arrival time instead of always waiting the full MaxWait: the
+	// deadline becomes the expected time for the batch to fill, clamped to
+	// MaxWait. Under fast traffic a lone straggler flushes almost
+	// immediately; under slow traffic the behaviour degrades to the fixed
+	// MaxWait deadline.
+	AdaptiveWait bool
 	// Collector, when set, observes every flush.
 	Collector Collector
 }
@@ -70,6 +78,10 @@ type Coalescer struct {
 	submit chan *batchReq
 	quit   chan struct{} // closed by Close: stop accepting
 	done   chan struct{} // closed when the dispatcher has drained and exited
+
+	// curWait is the deadline the dispatcher armed most recently, for
+	// observability (/metrics). With AdaptiveWait off it stays at MaxWait.
+	curWait atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -106,8 +118,16 @@ func NewCoalescer(backend Backend, opt CoalescerOptions) *Coalescer {
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	c.curWait.Store(int64(opt.MaxWait))
 	go c.dispatch()
 	return c
+}
+
+// CurrentWait reports the flush deadline most recently armed by the
+// dispatcher. Without AdaptiveWait it is always the configured MaxWait; with
+// it, the value tracks the EWMA-derived expected batch fill time.
+func (c *Coalescer) CurrentWait() time.Duration {
+	return time.Duration(c.curWait.Load())
 }
 
 // Close stops accepting submissions, flushes everything already queued, and
@@ -193,7 +213,44 @@ func (c *Coalescer) dispatch() {
 	defer timer.Stop()
 	armed := false
 
+	// Adaptive-wait state, dispatcher-local: an EWMA (alpha = 1/5) of the
+	// inter-arrival time between admitted submissions, seeded by the first
+	// observed gap. The deadline for a freshly non-empty queue is the
+	// expected time for the remaining batch slots to fill at that rate,
+	// clamped to MaxWait — fast traffic flushes stragglers in microseconds
+	// instead of parking them for the full fixed deadline.
+	var (
+		ewma     time.Duration
+		haveRate bool
+		lastEnq  time.Time
+		deadline time.Time // absolute flush deadline, valid while armed
+	)
+	nextWait := func() time.Duration {
+		wait := c.opt.MaxWait
+		if c.opt.AdaptiveWait && haveRate {
+			if fill := ewma * time.Duration(c.opt.MaxBatch-samples); fill < wait {
+				wait = fill
+			}
+		}
+		c.curWait.Store(int64(wait))
+		return wait
+	}
+
 	admit := func(req *batchReq) {
+		if c.opt.AdaptiveWait {
+			if !lastEnq.IsZero() {
+				d := req.enq.Sub(lastEnq)
+				if d < 0 {
+					d = 0
+				}
+				if !haveRate {
+					ewma, haveRate = d, true
+				} else {
+					ewma = (d + 4*ewma) / 5
+				}
+			}
+			lastEnq = req.enq
+		}
 		if err := req.ctx.Err(); err != nil {
 			req.err = err
 			close(req.done)
@@ -201,9 +258,20 @@ func (c *Coalescer) dispatch() {
 		}
 		pending = append(pending, pendingReq{req: req})
 		samples += len(req.xs)
+		wait := nextWait()
 		if !armed {
-			timer.Reset(c.opt.MaxWait)
+			timer.Reset(wait)
 			armed = true
+			deadline = req.enq.Add(wait)
+		} else if c.opt.AdaptiveWait {
+			// Size flushes leave the timer armed at a deadline computed
+			// for an earlier era of traffic; if the rate now says the
+			// batch should flush sooner, tighten it so a straggler never
+			// pays a stale (possibly full-MaxWait) wait.
+			if d := req.enq.Add(wait); d.Before(deadline) {
+				timer.Reset(wait)
+				deadline = d
+			}
 		}
 		for samples >= c.opt.MaxBatch {
 			c.flush(&pending, &samples, c.opt.MaxBatch, FlushSize)

@@ -262,3 +262,46 @@ func TestCoalescerDrainOnClose(t *testing.T) {
 	}
 	t.Fatal("never observed a drain flush in 50 attempts")
 }
+
+// TestCoalescerAdaptiveWait checks that under fast concurrent traffic the
+// EWMA-derived deadline drops far below the configured MaxWait (here an
+// hour, so any deadline-dependent straggler would hang without adaptation),
+// while every caller still receives its own correct results.
+func TestCoalescerAdaptiveWait(t *testing.T) {
+	c, _, ref := newTestCoalescer(t, CoalescerOptions{MaxBatch: 4, MaxWait: time.Hour, AdaptiveWait: true})
+	if got := c.CurrentWait(); got != time.Hour {
+		t.Fatalf("initial CurrentWait = %v, want the configured MaxWait", got)
+	}
+	const producers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			xs := randomBatch(ref.M, 12, int64(500+p))
+			for i, x := range xs {
+				got, err := c.Predict(context.Background(), x)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := ref.M.Predict(x)
+				for cl := range want {
+					if got[cl] != want[cl] {
+						errs <- fmt.Errorf("producer %d sample %d: wrong result", p, i)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := c.CurrentWait(); got >= time.Hour {
+		t.Fatalf("CurrentWait = %v after fast traffic, want below the configured MaxWait", got)
+	}
+}

@@ -1,0 +1,14 @@
+//go:build amd64
+
+package infer
+
+// denseLogitsAVX computes one sample's logits over width classes (width
+// must be a multiple of 8, flat >= 1): out[c] = bias[c] + Σ_k
+// x[k]·wT[k·stride+c] for c in [0,width). Each SIMD lane carries one class
+// through the same round-product-then-round-sum sequence in the same
+// ascending-k order as the scalar path — VMULPD/VADDPD, never FMA — so
+// every lane is bit-identical to nn.Model's forward. Implemented in
+// dense_amd64.s.
+//
+//go:noescape
+func denseLogitsAVX(x, wT, bias, out *float64, flat, stride, width int)

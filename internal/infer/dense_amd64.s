@@ -1,0 +1,54 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func denseLogitsAVX(x, wT, bias, out *float64, flat, stride, width int)
+//
+// For c in [0,width) step 8:
+//	Y0,Y1 = bias[c..c+7]
+//	for k in [0,flat): Y0,Y1 += broadcast(x[k]) * wT[k*stride+c .. +8]
+//	out[c..c+8] = Y0|Y1
+//
+// wT is the dense weight matrix transposed to class-major rows
+// (wT[k*stride+c] = DenseW[c*flat+k]) so the 8 class lanes of one k-step
+// load contiguously. VMULPD then VADDPD keeps scalar rounding per lane (no
+// FMA) and the accumulation order is bias-first ascending-k — bit-identical
+// to the per-sample forward pass and the portable denseOne/densePair loops.
+TEXT ·denseLogitsAVX(SB), NOSPLIT, $0-56
+	MOVQ	x+0(FP), SI
+	MOVQ	wT+8(FP), DX
+	MOVQ	bias+16(FP), BX
+	MOVQ	out+24(FP), DI
+	MOVQ	flat+32(FP), R8
+	MOVQ	stride+40(FP), R9
+	MOVQ	width+48(FP), R10
+	SHLQ	$3, R9          // stride in bytes
+	XORQ	CX, CX          // c
+cloop:
+	LEAQ	8(CX), AX
+	CMPQ	AX, R10
+	JGT	done
+	VMOVUPD	(BX)(CX*8), Y0
+	VMOVUPD	32(BX)(CX*8), Y1
+	MOVQ	SI, R11         // &x[0]
+	LEAQ	(DX)(CX*8), R13 // &wT[c]
+	MOVQ	R8, R12         // flat countdown
+kloop:
+	VBROADCASTSD	(R11), Y2
+	VMOVUPD	(R13), Y3
+	VMOVUPD	32(R13), Y4
+	VMULPD	Y3, Y2, Y3
+	VADDPD	Y3, Y0, Y0
+	VMULPD	Y4, Y2, Y4
+	VADDPD	Y4, Y1, Y1
+	ADDQ	$8, R11
+	ADDQ	R9, R13
+	DECQ	R12
+	JNZ	kloop
+	VMOVUPD	Y0, (DI)(CX*8)
+	VMOVUPD	Y1, 32(DI)(CX*8)
+	MOVQ	AX, CX
+	JMP	cloop
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package infer
+
+// denseLogitsAVX is never called when hasAVX is false.
+func denseLogitsAVX(x, wT, bias, out *float64, flat, stride, width int) {
+	panic("infer: denseLogitsAVX without AVX support")
+}

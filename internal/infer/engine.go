@@ -32,6 +32,11 @@ type Engine struct {
 	m       *nn.Model
 	workers int
 	scratch sync.Pool // *scratch
+
+	// denseWT is the dense weight matrix transposed to class-major rows
+	// (denseWT[k*Classes+c] = DenseW[c*flat+k]), built once when the AVX
+	// dense kernel is available so its 8 class lanes load contiguously.
+	denseWT []float64
 }
 
 // scratch holds the per-call working matrices, pooled across ForwardBatch
@@ -49,7 +54,18 @@ func NewEngine(m *nn.Model, opt Options) *Engine {
 	if w < 1 {
 		w = 1
 	}
-	return &Engine{m: m, workers: w}
+	e := &Engine{m: m, workers: w}
+	if hasAVX && m.Classes >= 8 {
+		flat := m.Filters * m.Cols
+		wT := make([]float64, flat*m.Classes)
+		for c := 0; c < m.Classes; c++ {
+			for k := 0; k < flat; k++ {
+				wT[k*m.Classes+c] = m.DenseW[c*flat+k]
+			}
+		}
+		e.denseWT = wT
+	}
+	return e
 }
 
 // Classes implements Backend.
@@ -340,12 +356,41 @@ func (e *Engine) repack(sc *scratch, cb, flat, lo, hi int) {
 // order per output element is bias-first ascending-k, as in the per-sample
 // path.
 func (e *Engine) denseTile(sc *scratch, flat, lo, hi int) {
+	if hasAVX && e.denseWT != nil {
+		e.denseTileAVX(sc, flat, lo, hi)
+		return
+	}
 	b := lo
 	for ; b+1 < hi; b += 2 {
 		e.densePair(sc, flat, b)
 	}
 	if b < hi {
 		e.denseOne(sc, flat, b)
+	}
+}
+
+// denseTileAVX is the amd64 fast path of denseTile: the vector micro-kernel
+// covers 8 classes per step over the transposed weights and the sub-8 class
+// remainder falls back to the scalar loop. Both produce bit-identical
+// results (see denseLogitsAVX), so tails and the portable path never
+// diverge from the fast path.
+func (e *Engine) denseTileAVX(sc *scratch, flat, lo, hi int) {
+	m := e.m
+	w8 := m.Classes &^ 7
+	for b := lo; b < hi; b++ {
+		x := sc.act[b*flat : (b+1)*flat]
+		l := sc.logits[b*m.Classes : (b+1)*m.Classes]
+		if w8 > 0 && flat > 0 {
+			denseLogitsAVX(&x[0], &e.denseWT[0], &m.DenseB[0], &l[0], flat, m.Classes, w8)
+		}
+		for c := w8; c < m.Classes; c++ {
+			w := m.DenseW[c*flat : (c+1)*flat]
+			a := m.DenseB[c]
+			for k := 0; k < flat; k++ {
+				a += w[k] * x[k]
+			}
+			l[c] = a
+		}
 	}
 }
 

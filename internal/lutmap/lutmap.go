@@ -34,6 +34,10 @@ type Options struct {
 	// Workers bounds cut-enumeration parallelism: 0 = one worker per CPU
 	// core, 1 = sequential (see cuts.Enumerator.Workers).
 	Workers int
+	// Pool, when set, lets the streaming path (MapStream) check cut-arena
+	// storage in and out across runs of the same graph shape. Ignored by
+	// the two-phase Map.
+	Pool *cuts.Pool
 }
 
 // LUT is one lookup table of the mapped network.
@@ -54,6 +58,10 @@ type Result struct {
 	Depth int32
 	// CutsConsidered counts cuts exposed to the mapper.
 	CutsConsidered int
+	// PeakCuts is the maximum number of simultaneously live cuts during
+	// enumeration (equal to CutsConsidered on the two-phase path; the
+	// streaming path reports the widest live level window).
+	PeakCuts int
 	// PolicyName records the policy.
 	PolicyName string
 
@@ -63,112 +71,126 @@ type Result struct {
 // NumLUTs returns the LUT count (the FPGA area metric).
 func (r *Result) NumLUTs() int { return len(r.LUTs) }
 
-// Map covers g with K-feasible LUTs minimising depth, then recovers area
-// under depth constraints.
-func Map(g *aig.AIG, opt Options) (*Result, error) {
-	policyName := "exhaustive"
-	var res *cuts.Result
-	if opt.CutSets != nil {
-		res = opt.CutSets
-		policyName = "precomputed"
-	} else {
-		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers}
-		res = e.Run()
-		if opt.Policy != nil {
-			policyName = opt.Policy.Name()
-		}
-	}
-	n := g.NumNodes()
-	sets := res.Sets
-	ensureFaninCuts(g, sets)
+// lutChoice records the selected cut of one node.
+type lutChoice struct {
+	cutIdx int
+	valid  bool
+}
 
-	type choice struct {
-		cutIdx int
-		valid  bool
+// lutMapping holds the per-node selection state shared by the two-phase
+// and streaming flows.
+type lutMapping struct {
+	g         *aig.AIG
+	sets      [][]cuts.Cut
+	depth     []int32
+	flow      []float64
+	best      []lutChoice
+	fanoutEst []float64
+}
+
+// newLutMapping builds the selection state; lm.sets is left for the caller.
+func newLutMapping(g *aig.AIG) *lutMapping {
+	n := g.NumNodes()
+	lm := &lutMapping{
+		g:         g,
+		depth:     make([]int32, n),
+		flow:      make([]float64, n),
+		best:      make([]lutChoice, n),
+		fanoutEst: make([]float64, n),
 	}
-	depth := make([]int32, n)
-	flow := make([]float64, n)
-	best := make([]choice, n)
-	fanoutEst := make([]float64, n)
 	for i := uint32(0); i < uint32(n); i++ {
 		fo := float64(g.Fanout(i))
 		if fo < 1 {
 			fo = 1
 		}
-		fanoutEst[i] = fo
+		lm.fanoutEst[i] = fo
 	}
+	return lm
+}
 
-	// evalCut returns (depth, areaFlow) of covering node with cut c.
-	evalCut := func(c *cuts.Cut) (int32, float64) {
-		var d int32
-		var f float64
-		for _, l := range c.Leaves {
-			if g.IsAnd(l) {
-				if depth[l] > d {
-					d = depth[l]
-				}
-				f += flow[l]
+// evalCut returns (depth, areaFlow) of covering a node with cut c.
+func (lm *lutMapping) evalCut(c *cuts.Cut) (int32, float64) {
+	var d int32
+	var f float64
+	for _, l := range c.Leaves {
+		if lm.g.IsAnd(l) {
+			if lm.depth[l] > d {
+				d = lm.depth[l]
 			}
-		}
-		return d + 1, f + 1
-	}
-
-	// Pass 1: depth-optimal choice per node.
-	selectPass := func(required []int32) {
-		for node := uint32(1); node < uint32(n); node++ {
-			if !g.IsAnd(node) {
-				continue
-			}
-			bd, bf := int32(math.MaxInt32), math.Inf(1)
-			bi := -1
-			for ci := range sets[node] {
-				c := &sets[node][ci]
-				if containsLeaf(c, node) {
-					continue
-				}
-				d, f := evalCut(c)
-				fl := f / fanoutEst[node]
-				ok := required == nil && (d < bd || (d == bd && fl < bf)) ||
-					required != nil && d <= required[node] && (fl < bf || (fl == bf && d < bd))
-				if bi == -1 && (required == nil || d <= required[node]) {
-					ok = true
-				}
-				if ok {
-					bd, bf, bi = d, fl, ci
-				}
-			}
-			if bi == -1 {
-				// No cut meets the requirement: fall back to depth-best.
-				for ci := range sets[node] {
-					c := &sets[node][ci]
-					if containsLeaf(c, node) {
-						continue
-					}
-					d, f := evalCut(c)
-					fl := f / fanoutEst[node]
-					if d < bd || (d == bd && fl < bf) {
-						bd, bf, bi = d, fl, ci
-					}
-				}
-			}
-			if bi == -1 {
-				best[node] = choice{}
-				depth[node] = math.MaxInt32 / 2
-				flow[node] = math.Inf(1)
-				continue
-			}
-			best[node] = choice{cutIdx: bi, valid: true}
-			depth[node] = bd
-			flow[node] = bf
+			f += lm.flow[l]
 		}
 	}
-	selectPass(nil)
+	return d + 1, f + 1
+}
 
-	if !opt.NoAreaRecovery {
+// selectNode picks the node's cut: depth-optimal when required is nil,
+// area-flow-optimal subject to the required depth otherwise.
+func (lm *lutMapping) selectNode(node uint32, required []int32) {
+	sets := lm.sets
+	bd, bf := int32(math.MaxInt32), math.Inf(1)
+	bi := -1
+	for ci := range sets[node] {
+		c := &sets[node][ci]
+		if containsLeaf(c, node) {
+			continue
+		}
+		d, f := lm.evalCut(c)
+		fl := f / lm.fanoutEst[node]
+		ok := required == nil && (d < bd || (d == bd && fl < bf)) ||
+			required != nil && d <= required[node] && (fl < bf || (fl == bf && d < bd))
+		if bi == -1 && (required == nil || d <= required[node]) {
+			ok = true
+		}
+		if ok {
+			bd, bf, bi = d, fl, ci
+		}
+	}
+	if bi == -1 {
+		// No cut meets the requirement: fall back to depth-best.
+		for ci := range sets[node] {
+			c := &sets[node][ci]
+			if containsLeaf(c, node) {
+				continue
+			}
+			d, f := lm.evalCut(c)
+			fl := f / lm.fanoutEst[node]
+			if d < bd || (d == bd && fl < bf) {
+				bd, bf, bi = d, fl, ci
+			}
+		}
+	}
+	if bi == -1 {
+		lm.best[node] = lutChoice{}
+		lm.depth[node] = math.MaxInt32 / 2
+		lm.flow[node] = math.Inf(1)
+		return
+	}
+	lm.best[node] = lutChoice{cutIdx: bi, valid: true}
+	lm.depth[node] = bd
+	lm.flow[node] = bf
+}
+
+// selectPass runs selectNode over all AND nodes in topological order.
+func (lm *lutMapping) selectPass(required []int32) {
+	for node := uint32(1); node < uint32(lm.g.NumNodes()); node++ {
+		if lm.g.IsAnd(node) {
+			lm.selectNode(node, required)
+		}
+	}
+}
+
+// finish runs the area-recovery pass (unless disabled), extracts the cover
+// and builds the LUT network. The depth-optimal pass must already have run
+// (Map's selectPass(nil), or incrementally in the streaming flow).
+func (lm *lutMapping) finish(policyName string, cutsConsidered, peakCuts int, noAreaRecovery bool) (*Result, error) {
+	g := lm.g
+	n := g.NumNodes()
+	sets := lm.sets
+	if !noAreaRecovery {
 		// Required depths from the POs.
 		maxDepth := int32(0)
 		for _, po := range g.POs() {
-			d := nodeDepth(g, depth, po.Lit.Node())
+			d := nodeDepth(g, lm.depth, po.Lit.Node())
 			if d > maxDepth {
 				maxDepth = d
 			}
@@ -184,17 +206,17 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		}
 		// Reverse topological propagation over the current cover.
 		for node := uint32(n) - 1; node >= 1; node-- {
-			if !g.IsAnd(node) || !best[node].valid || required[node] == math.MaxInt32 {
+			if !g.IsAnd(node) || !lm.best[node].valid || required[node] == math.MaxInt32 {
 				continue
 			}
-			c := &sets[node][best[node].cutIdx]
+			c := &sets[node][lm.best[node].cutIdx]
 			for _, l := range c.Leaves {
 				if g.IsAnd(l) && required[node]-1 < required[l] {
 					required[l] = required[node] - 1
 				}
 			}
 		}
-		selectPass(required)
+		lm.selectPass(required)
 	}
 
 	// Cover extraction.
@@ -212,17 +234,18 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 	for len(stack) > 0 {
 		m := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if !best[m].valid {
+		if !lm.best[m].valid {
 			return nil, fmt.Errorf("lutmap: node %d has no feasible cut", m)
 		}
-		c := &sets[m][best[m].cutIdx]
+		c := &sets[m][lm.best[m].cutIdx]
 		for _, l := range c.Leaves {
 			push(l)
 		}
 	}
 
 	out := &Result{
-		CutsConsidered: totalCuts(g, sets),
+		CutsConsidered: cutsConsidered,
+		PeakCuts:       peakCuts,
 		PolicyName:     policyName,
 		g:              g,
 	}
@@ -231,7 +254,7 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		if !needed[node] {
 			continue
 		}
-		c := &sets[node][best[node].cutIdx]
+		c := &sets[node][lm.best[node].cutIdx]
 		var d int32
 		for _, l := range c.Leaves {
 			if g.IsAnd(l) && finalDepth[l] > d {
@@ -249,6 +272,38 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		})
 	}
 	return out, nil
+}
+
+// Map covers g with K-feasible LUTs minimising depth, then recovers area
+// under depth constraints.
+func Map(g *aig.AIG, opt Options) (*Result, error) {
+	policyName := "exhaustive"
+	var res *cuts.Result
+	if opt.CutSets != nil {
+		res = opt.CutSets
+		policyName = "precomputed"
+	} else {
+		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers}
+		res = e.Run()
+		if opt.Policy != nil {
+			policyName = opt.Policy.Name()
+		}
+	}
+	sets := res.Sets
+	ensureFaninCuts(g, sets)
+
+	lm := newLutMapping(g)
+	lm.sets = sets
+
+	// Pass 1: depth-optimal choice per node.
+	lm.selectPass(nil)
+
+	total := totalCuts(g, sets)
+	peak := res.PeakCuts
+	if peak == 0 {
+		peak = res.TotalCuts
+	}
+	return lm.finish(policyName, total, peak, opt.NoAreaRecovery)
 }
 
 func nodeDepth(g *aig.AIG, depth []int32, n uint32) int32 {

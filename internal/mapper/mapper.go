@@ -46,6 +46,10 @@ type Options struct {
 	// core, 1 = sequential. Parallel and sequential enumeration produce
 	// identical cut sets (see cuts.Enumerator.Workers).
 	Workers int
+	// Pool, when set, lets the streaming path (MapStream) check cut-arena
+	// storage in and out across runs of the same graph shape. Ignored by the
+	// two-phase Map.
+	Pool *cuts.Pool
 }
 
 // DefaultMaxFanout is the post-mapping fanout bound.
@@ -62,6 +66,11 @@ type Result struct {
 	// CutsConsidered counts the cuts exposed to Boolean matching — the
 	// paper's "Cuts Used" memory-footprint metric.
 	CutsConsidered int
+	// PeakCuts is the maximum number of simultaneously live cuts during
+	// enumeration. Equal to CutsConsidered for the two-phase path (which
+	// materialises everything); the streaming path reports the widest live
+	// level window.
+	PeakCuts int
 	// MatchAttempts counts (cut, gate) pairs evaluated.
 	MatchAttempts int
 	// PolicyName records which policy produced the cut lists.
@@ -108,7 +117,37 @@ type mapping struct {
 	refs      []int32
 	fanoutEst []float64
 
+	maxFanout     int
 	matchAttempts int
+}
+
+// newMapping builds the per-node selection state shared by the two-phase
+// and streaming flows. m.sets is left for the caller to install.
+func newMapping(g *aig.AIG, lib *library.Library, maxFanout int) *mapping {
+	if maxFanout == 0 {
+		maxFanout = DefaultMaxFanout
+	}
+	m := &mapping{g: g, lib: lib, maxFanout: maxFanout}
+	n := g.NumNodes()
+	m.best = make([]chosen, n)
+	m.arrival = make([]float64, n)
+	m.flow = make([]float64, n)
+	m.required = make([]float64, n)
+	m.refs = make([]int32, n)
+	m.fanoutEst = make([]float64, n)
+	for i := uint32(0); i < uint32(n); i++ {
+		fo := float64(g.Fanout(i))
+		if fo < 1 {
+			fo = 1
+		}
+		// Loads beyond the fanout bound will be buffered away, so the
+		// arrival estimates saturate there too.
+		if maxFanout > 0 && fo > float64(maxFanout) {
+			fo = float64(maxFanout)
+		}
+		m.fanoutEst[i] = fo
+	}
+	return m
 }
 
 // Map runs the full mapping flow on g.
@@ -129,43 +168,28 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		}
 	}
 
-	maxFanout := opt.MaxFanout
-	if maxFanout == 0 {
-		maxFanout = DefaultMaxFanout
-	}
-
-	m := &mapping{
-		g:    g,
-		lib:  opt.Library,
-		sets: res.Sets,
-	}
-	n := g.NumNodes()
-	m.best = make([]chosen, n)
-	m.arrival = make([]float64, n)
-	m.flow = make([]float64, n)
-	m.required = make([]float64, n)
-	m.refs = make([]int32, n)
-	m.fanoutEst = make([]float64, n)
-	for i := uint32(0); i < uint32(n); i++ {
-		fo := float64(g.Fanout(i))
-		if fo < 1 {
-			fo = 1
-		}
-		// Loads beyond the fanout bound will be buffered away, so the
-		// arrival estimates saturate there too.
-		if maxFanout > 0 && fo > float64(maxFanout) {
-			fo = float64(maxFanout)
-		}
-		m.fanoutEst[i] = fo
-	}
+	m := newMapping(g, opt.Library, opt.MaxFanout)
+	m.sets = res.Sets
 
 	cutsConsidered := m.ensureMappable()
 	cutsConsidered += totalCuts(g, res)
 
 	// Pass 1: delay-optimal mapping.
 	m.selectAll(selectDelay)
+	peak := res.PeakCuts
+	if peak == 0 {
+		peak = res.TotalCuts
+	}
+	return m.finish(opt.NoAreaRecovery, policyName, cutsConsidered, peak)
+}
+
+// finish runs everything downstream of the delay pass — area recovery,
+// netlist construction, buffering, cover extraction and STA — and is shared
+// by Map and the streaming Stream.Finish (whose delay pass happened
+// incrementally inside the wavefront).
+func (m *mapping) finish(noAreaRecovery bool, policyName string, cutsConsidered, peakCuts int) (*Result, error) {
 	// Passes 2 and 3: area recovery under required-time constraints.
-	if !opt.NoAreaRecovery {
+	if !noAreaRecovery {
 		m.computeRequired()
 		m.selectAll(selectAreaFlow)
 		m.computeRequired()
@@ -176,9 +200,9 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if maxFanout > 0 {
-		if buf := netlist.BufferCell(opt.Library); buf != nil {
-			nl = nl.InsertBuffers(buf, maxFanout)
+	if m.maxFanout > 0 {
+		if buf := netlist.BufferCell(m.lib); buf != nil {
+			nl = nl.InsertBuffers(buf, m.maxFanout)
 		}
 	}
 	var cover []CoverEntry
@@ -196,6 +220,7 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		MatchAttempts:  m.matchAttempts,
 		PolicyName:     policyName,
 		EstimatedDelay: m.globalDelay(),
+		PeakCuts:       peakCuts,
 		Cover:          cover,
 	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"slap/internal/cuts"
 	"slap/internal/infer"
 )
 
@@ -53,9 +54,19 @@ type Metrics struct {
 	waitBuckets    []int64
 	waitSum        float64
 	flushesByCause map[infer.FlushReason]int64
+	// peakCutsMax is the largest simultaneously-live cut count any single
+	// mapping reported — the streaming pipeline's working-set high-water
+	// mark (two-phase mappings report their total, so the gauge also shows
+	// how much the fused flow saves).
+	peakCutsMax int64
 	// degraded reports current degradation reasons (nil = never degraded);
 	// set once at server assembly, read at scrape time.
 	degraded func() []string
+	// arenaStats reports the cut-arena pool counters (nil = no pool).
+	arenaStats func() cuts.PoolStats
+	// batchWait reports the current coalescer flush deadline in seconds
+	// (nil = no batching).
+	batchWait func() float64
 }
 
 // NewMetrics returns a Metrics bound to the scheduler's gauges.
@@ -130,6 +141,25 @@ func (m *Metrics) Panics() int64 {
 // time without further synchronisation.
 func (m *Metrics) SetDegradedFunc(f func() []string) { m.degraded = f }
 
+// SetArenaStatsFunc installs the callback that reports the cut-arena pool
+// counters. Call before serving.
+func (m *Metrics) SetArenaStatsFunc(f func() cuts.PoolStats) { m.arenaStats = f }
+
+// SetBatchWaitFunc installs the callback that reports the current
+// (possibly adaptive) coalescer flush deadline in seconds. Call before
+// serving.
+func (m *Metrics) SetBatchWaitFunc(f func() float64) { m.batchWait = f }
+
+// ObservePeakCuts records one mapping's peak live-cut count, keeping the
+// high-water mark across all mappings.
+func (m *Metrics) ObservePeakCuts(n int) {
+	m.mu.Lock()
+	if int64(n) > m.peakCutsMax {
+		m.peakCutsMax = int64(n)
+	}
+	m.mu.Unlock()
+}
+
 // CutsPerSec returns mean cut throughput since the server started.
 func (m *Metrics) CutsPerSec() float64 {
 	up := time.Since(m.start).Seconds()
@@ -167,6 +197,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for r, c := range m.flushesByCause {
 		flushes[r] = c
 	}
+	peakCutsMax := m.peakCutsMax
 	m.mu.Unlock()
 
 	sort.Slice(rows, func(i, j int) bool {
@@ -252,6 +283,34 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "slap_infer_flushes_total{reason=%q} %d\n", string(reason), c)
 	}
 
+	fmt.Fprintln(w, "# HELP slap_infer_adaptive_wait_seconds Current coalescer flush deadline (EWMA-derived when adaptive).")
+	fmt.Fprintln(w, "# TYPE slap_infer_adaptive_wait_seconds gauge")
+	batchWait := 0.0
+	if m.batchWait != nil {
+		batchWait = m.batchWait()
+	}
+	fmt.Fprintf(w, "slap_infer_adaptive_wait_seconds %g\n", batchWait)
+
+	var arena cuts.PoolStats
+	if m.arenaStats != nil {
+		arena = m.arenaStats()
+	}
+	fmt.Fprintln(w, "# HELP slap_arena_hits_total Mapping requests served by a cached cut arena.")
+	fmt.Fprintln(w, "# TYPE slap_arena_hits_total counter")
+	fmt.Fprintf(w, "slap_arena_hits_total %d\n", arena.Hits)
+
+	fmt.Fprintln(w, "# HELP slap_arena_misses_total Mapping requests that built a fresh cut arena.")
+	fmt.Fprintln(w, "# TYPE slap_arena_misses_total counter")
+	fmt.Fprintf(w, "slap_arena_misses_total %d\n", arena.Misses)
+
+	fmt.Fprintln(w, "# HELP slap_arena_cached Cut arenas currently parked in the cross-request pool.")
+	fmt.Fprintln(w, "# TYPE slap_arena_cached gauge")
+	fmt.Fprintf(w, "slap_arena_cached %d\n", arena.Cached)
+
+	fmt.Fprintln(w, "# HELP slap_peak_live_cuts Largest simultaneously-live cut count any mapping reported.")
+	fmt.Fprintln(w, "# TYPE slap_peak_live_cuts gauge")
+	fmt.Fprintf(w, "slap_peak_live_cuts %d\n", peakCutsMax)
+
 	fmt.Fprintln(w, "# HELP slap_panics_total Handler and worker panics recovered by the service.")
 	fmt.Fprintln(w, "# TYPE slap_panics_total counter")
 	fmt.Fprintf(w, "slap_panics_total %d\n", panicsTotal)
@@ -284,8 +343,17 @@ func (m *Metrics) snapshot() any {
 	mapsTotal := m.mapsTotal
 	panicsTotal := m.panicsTotal
 	batchCount, batchSum := m.batchCount, m.batchSum
+	peakCutsMax := m.peakCutsMax
 	m.mu.Unlock()
+	var arena cuts.PoolStats
+	if m.arenaStats != nil {
+		arena = m.arenaStats()
+	}
 	return map[string]any{
+		"arena_hits":           arena.Hits,
+		"arena_misses":         arena.Misses,
+		"arena_cached":         arena.Cached,
+		"peak_live_cuts":       peakCutsMax,
 		"requests_total":       total,
 		"requests_by_endpoint": byEndpoint,
 		"cuts_considered":      cutsTotal,

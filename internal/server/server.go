@@ -60,6 +60,18 @@ type Config struct {
 	// BatchWait bounds how long a lone inference submission waits for
 	// batch-mates before flushing anyway (0 = infer.DefaultMaxWait).
 	BatchWait time.Duration
+	// AdaptiveBatchWait derives each coalescer's flush deadline from the
+	// observed arrival rate (EWMA), clamped to BatchWait; the current value
+	// is exported on /metrics.
+	AdaptiveBatchWait bool
+	// DisableStreaming falls back to the two-phase enumerate-then-match
+	// pipeline for every mapping instead of the fused streaming flow.
+	DisableStreaming bool
+	// ArenaCache is how many cut arenas the server caches across mapping
+	// requests, keyed by graph identity, so repeated mappings of the same
+	// design reuse cut storage instead of reallocating it
+	// (0 = cuts.DefaultPoolArenas, negative = no caching).
+	ArenaCache int
 }
 
 // Server defaults.
@@ -82,6 +94,12 @@ type Server struct {
 
 	jobs    sync.Map // job id -> *datasetJob
 	jobsSeq atomic.Int64
+
+	// pool caches cut arenas across mapping requests (nil when ArenaCache
+	// is negative): a service re-mapping the same design — parameter
+	// sweeps, policy comparisons — reuses all cut storage from the previous
+	// run instead of reallocating it.
+	pool *cuts.Pool
 
 	// coalescers holds one inference coalescer per registry model
 	// (*nn.Model -> *infer.Coalescer), created on first slap/classify use
@@ -116,8 +134,15 @@ func New(cfg Config) *Server {
 		sched: NewScheduler(cfg.WorkerBudget, cfg.QueueCap),
 		start: time.Now(),
 	}
+	if cfg.ArenaCache >= 0 {
+		s.pool = cuts.NewPool(cfg.ArenaCache) // 0 = DefaultPoolArenas
+	}
 	s.metrics = NewMetrics(s.sched)
 	s.metrics.SetDegradedFunc(s.degradedReasons)
+	if s.pool != nil {
+		s.metrics.SetArenaStatsFunc(s.pool.Stats)
+	}
+	s.metrics.SetBatchWaitFunc(s.maxBatchWait)
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/map", s.instrument("/v1/map", s.handleMap))
@@ -171,15 +196,30 @@ func (s *Server) batcherFor(model *nn.Model) core.Batcher {
 		return v.(*infer.Coalescer)
 	}
 	co := infer.NewCoalescer(infer.NewEngine(model, infer.Options{}), infer.CoalescerOptions{
-		MaxBatch:  s.cfg.MaxBatch,
-		MaxWait:   s.cfg.BatchWait,
-		Collector: s.metrics,
+		MaxBatch:     s.cfg.MaxBatch,
+		MaxWait:      s.cfg.BatchWait,
+		AdaptiveWait: s.cfg.AdaptiveBatchWait,
+		Collector:    s.metrics,
 	})
 	if prev, loaded := s.coalescers.LoadOrStore(model, co); loaded {
 		co.Close()
 		return prev.(*infer.Coalescer)
 	}
 	return co
+}
+
+// maxBatchWait reports the largest currently-armed coalescer flush deadline
+// in seconds — the /metrics view of the adaptive batch wait. Zero when no
+// coalescer exists yet.
+func (s *Server) maxBatchWait() float64 {
+	var w time.Duration
+	s.coalescers.Range(func(_, v any) bool {
+		if cur := v.(*infer.Coalescer).CurrentWait(); cur > w {
+			w = cur
+		}
+		return true
+	})
+	return w.Seconds()
 }
 
 // ---------------------------------------------------------------------------
@@ -229,6 +269,7 @@ type MapResponse struct {
 	LUTs           int     `json:"luts,omitempty"`
 	Depth          int32   `json:"depth,omitempty"`
 	CutsConsidered int     `json:"cuts_considered"`
+	PeakCuts       int     `json:"peak_cuts,omitempty"`
 	MatchAttempts  int     `json:"match_attempts,omitempty"`
 	Workers        int     `json:"workers"`
 	QueueMS        float64 `json:"queue_ms"`
@@ -544,6 +585,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		resp, err := s.executeMap(ctx, req, g, lib, model, granted)
 		if resp != nil {
 			s.metrics.AddCuts(resp.CutsConsidered)
+			s.metrics.ObservePeakCuts(resp.PeakCuts)
 		}
 		ch <- outcome{resp, err}
 	}()
@@ -592,6 +634,7 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 		return nil, fmt.Errorf("unknown policy %q (want default, unlimited, shuffle or slap)", policy)
 	}
 
+	streaming := !s.cfg.DisableStreaming
 	resp := &MapResponse{Target: target, Workers: workers}
 	switch target {
 	case "lut":
@@ -601,7 +644,14 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 			sl := core.New(model, lib)
 			sl.Workers = workers
 			sl.Batch = s.batcherFor(model)
-			res, err = sl.MapLUTContext(ctx, g)
+			if streaming {
+				sl.Pool = s.pool
+				res, err = sl.MapLUTStreamContext(ctx, g)
+			} else {
+				res, err = sl.MapLUTContext(ctx, g)
+			}
+		} else if streaming {
+			res, err = lutmap.MapStream(g, lutmap.Options{Policy: cutPolicy, Workers: workers, Pool: s.pool})
 		} else {
 			res, err = lutmap.Map(g, lutmap.Options{Policy: cutPolicy, Workers: workers})
 		}
@@ -615,6 +665,7 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 		resp.LUTs = res.NumLUTs()
 		resp.Depth = res.Depth
 		resp.CutsConsidered = res.CutsConsidered
+		resp.PeakCuts = res.PeakCuts
 		return resp, nil
 	case "asic":
 		var res *mapper.Result
@@ -623,7 +674,14 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 			sl := core.New(model, lib)
 			sl.Workers = workers
 			sl.Batch = s.batcherFor(model)
-			res, err = sl.MapContext(ctx, g)
+			if streaming {
+				sl.Pool = s.pool
+				res, err = sl.MapStreamContext(ctx, g)
+			} else {
+				res, err = sl.MapContext(ctx, g)
+			}
+		} else if streaming {
+			res, err = mapper.MapStream(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers, Pool: s.pool})
 		} else {
 			res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers})
 		}
@@ -634,6 +692,7 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 			return nil, err
 		}
 		resp.Policy = res.PolicyName
+		resp.PeakCuts = res.PeakCuts
 		resp.Area = res.Area
 		resp.Delay = res.Delay
 		resp.ADP = res.ADP()

@@ -654,3 +654,117 @@ func TestBatchingDisabled(t *testing.T) {
 		t.Errorf("batching disabled but %v flushes recorded", v)
 	}
 }
+
+// TestStreamingServerParity maps the same circuit through the default
+// (streaming) server and a DisableStreaming one and requires identical
+// mapping figures and netlist bytes — the HTTP-level view of the fused
+// pipeline's byte-identity guarantee — then checks the arena pool and
+// peak-cut telemetry on /metrics after repeated same-graph requests.
+func TestStreamingServerParity(t *testing.T) {
+	_, stream := newTestServer(t, Config{AdaptiveBatchWait: true})
+	_, twoPhase := newTestServer(t, Config{DisableStreaming: true})
+	body := map[string]any{
+		"circuit": rc16Text(t), "policy": "default",
+		"netlist": "blif", "verify": true,
+	}
+
+	var first MapResponse
+	for i := 0; i < 3; i++ {
+		resp, data := postJSON(t, stream.URL+"/v1/map", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("streaming map %d: status %d (%s)", i, resp.StatusCode, data)
+		}
+		var got MapResponse
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got.Area != first.Area || got.Delay != first.Delay || got.Netlist != first.Netlist {
+			t.Fatalf("streaming map %d diverged from its own first run", i)
+		}
+	}
+	if first.PeakCuts <= 0 {
+		t.Errorf("streaming PeakCuts = %d, want > 0", first.PeakCuts)
+	}
+	if !first.Verified {
+		t.Error("streaming mapping did not verify")
+	}
+
+	resp, data := postJSON(t, twoPhase.URL+"/v1/map", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("two-phase map: status %d (%s)", resp.StatusCode, data)
+	}
+	var ref MapResponse
+	if err := json.Unmarshal(data, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if first.Area != ref.Area || first.Delay != ref.Delay || first.Cells != ref.Cells ||
+		first.CutsConsidered != ref.CutsConsidered || first.MatchAttempts != ref.MatchAttempts ||
+		first.Netlist != ref.Netlist {
+		t.Errorf("streaming response diverged from two-phase: %+v vs %+v", first, ref)
+	}
+	if first.PeakCuts >= ref.PeakCuts {
+		t.Errorf("streaming peak %d not below two-phase total %d", first.PeakCuts, ref.PeakCuts)
+	}
+
+	respM, err := http.Get(stream.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(respM.Body)
+	respM.Body.Close()
+	if v := metricsGauge(t, string(text), "slap_arena_misses_total"); v != 1 {
+		t.Errorf("slap_arena_misses_total = %v, want 1 (one graph identity)", v)
+	}
+	if v := metricsGauge(t, string(text), "slap_arena_hits_total"); v < 2 {
+		t.Errorf("slap_arena_hits_total = %v, want >= 2 after repeated same-graph maps", v)
+	}
+	if v := metricsGauge(t, string(text), "slap_arena_cached"); v < 1 {
+		t.Errorf("slap_arena_cached = %v, want >= 1", v)
+	}
+	if v := metricsGauge(t, string(text), "slap_peak_live_cuts"); int(v) != first.PeakCuts {
+		t.Errorf("slap_peak_live_cuts = %v, want %d", v, first.PeakCuts)
+	}
+	if !strings.Contains(string(text), "slap_infer_adaptive_wait_seconds") {
+		t.Error("metrics missing slap_infer_adaptive_wait_seconds")
+	}
+}
+
+// TestStreamingLUTAndSlapParity covers the remaining policy x target routes:
+// the lut target and the ML slap policy must agree between the streaming and
+// two-phase servers too.
+func TestStreamingLUTAndSlapParity(t *testing.T) {
+	srvA, stream := newTestServer(t, Config{})
+	_, twoPhase := newTestServer(t, Config{DisableStreaming: true, Registry: srvA.Registry()})
+	for _, body := range []map[string]any{
+		{"circuit": rc16Text(t), "policy": "default", "target": "lut"},
+		{"circuit": rc16Text(t), "policy": "shuffle", "seed": 5, "workers": 2},
+		{"circuit": rc16Text(t), "policy": "slap", "model": "toy"},
+		{"circuit": rc16Text(t), "policy": "slap", "model": "toy", "target": "lut"},
+	} {
+		resp, data := postJSON(t, stream.URL+"/v1/map", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("streaming %v: status %d (%s)", body["policy"], resp.StatusCode, data)
+		}
+		var got MapResponse
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		resp, data = postJSON(t, twoPhase.URL+"/v1/map", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("two-phase %v: status %d (%s)", body["policy"], resp.StatusCode, data)
+		}
+		var ref MapResponse
+		if err := json.Unmarshal(data, &ref); err != nil {
+			t.Fatal(err)
+		}
+		if got.Area != ref.Area || got.Delay != ref.Delay || got.LUTs != ref.LUTs ||
+			got.Depth != ref.Depth || got.CutsConsidered != ref.CutsConsidered {
+			t.Errorf("%v target=%v: streaming %+v diverged from two-phase %+v",
+				body["policy"], body["target"], got, ref)
+		}
+	}
+}
