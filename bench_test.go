@@ -6,6 +6,7 @@
 package slap_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"slap/internal/cuts"
 	"slap/internal/experiments"
 	"slap/internal/library"
+	"slap/internal/mapcache"
 	"slap/internal/mapper"
 	"slap/internal/opt"
 )
@@ -396,4 +398,82 @@ func sopChain(n int) *aig.AIG {
 	}
 	bd.G.AddPO("all", all)
 	return bd.G
+}
+
+// BenchmarkRepeatReplay measures the serving win of the content-addressed
+// result cache on a repeat-heavy replay: every iteration resubmits the
+// same design. "cold" re-runs the full SLAP flow each time; "cached"
+// answers from the result cache in O(1) after one warm-up mapping.
+func BenchmarkRepeatReplay(b *testing.B) {
+	tr := sharedTraining(b)
+	s := tr.SLAP
+	g := circuits.BoothMultiplier(8)
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.MapStreamContext(ctx, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := mapcache.New(0)
+		opt := core.CachedOptions{Streaming: true}
+		if _, _, err := s.MapCached(ctx, g, cache, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, o, err := s.MapCached(ctx, g, cache, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !o.Hit {
+				b.Fatal("replay iteration missed the cache")
+			}
+		}
+	})
+}
+
+// BenchmarkECORemap measures the delta-remapping win on a ~5%-edited
+// design (localised near the POs, the shape real ECOs take): "cold" maps
+// the edited design from scratch, "delta" reuses the baseline snapshot and
+// re-runs classification only on the dirty cone. Both produce byte-
+// identical netlists (pinned by TestSlapMapDeltaByteIdentical).
+func BenchmarkECORemap(b *testing.B) {
+	tr := sharedTraining(b)
+	s := tr.SLAP
+	base := circuits.BoothMultiplier(8)
+	// The edit flips half the ANDs in the last 10% of the id range — about
+	// 5% of the design overall.
+	edited := circuits.PerturbSpan(base, 11, 0.9, 1, 0.5)
+	ctx := context.Background()
+	_, snap, err := s.MapStreamCaptureContext(ctx, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.MapStreamContext(ctx, edited); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		var dirty float64
+		for i := 0; i < b.N; i++ {
+			_, _, st, err := s.MapDeltaContext(ctx, edited, snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dirty = st.DirtyFraction
+		}
+		b.ReportMetric(dirty, "dirty-frac")
+	})
 }

@@ -72,6 +72,8 @@ func main() {
 		adaptive  = flag.Bool("adaptive-batch-wait", true, "derive the inference flush deadline from the observed arrival rate (clamped to -batch-wait)")
 		streaming = flag.Bool("streaming", true, "fused streaming mapping pipeline (matching inside the cut wavefront); false = two-phase enumerate-then-match")
 		arenas    = flag.Int("arena-cache", 0, "cut arenas cached across requests for same-graph reuse (0 = default, negative disables)")
+		resCache  = flag.Int64("result-cache", 256, "mapping result cache budget in MiB: exact resubmissions are answered from the cache in O(1) (0 disables)")
+		eco       = flag.Bool("eco", true, "delta-remap edited designs against the nearest cached relative, re-running only the dirty cone (needs -result-cache)")
 	)
 	flag.Var(&models, "model", "model to preload, as name=path or path (repeatable)")
 	flag.Var(&libs, "lib", "genlib-like library to preload, as name=path or path (repeatable)")
@@ -89,6 +91,8 @@ func main() {
 		AdaptiveBatchWait: *adaptive,
 		DisableStreaming:  !*streaming,
 		ArenaCache:        *arenas,
+		ResultCacheBytes:  *resCache << 20,
+		ECO:               *eco,
 	}
 	if err := run(*addr, models, libs, cfg, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "slap-serve:", err)

@@ -6,14 +6,21 @@
 //	slap -circuit adder -policy default
 //	slap -circuit AES -policy slap -model model.gob
 //	slap -aag design.aag -policy unlimited -verify
+//	slap -aag edited.aag -baseline original.aag -policy default
 //
 // Circuits are either built-in Table II generators (-circuit, sized by
 // -profile) or ASCII AIGER files (-aag). Policies: default (vanilla ABC
 // heuristic), unlimited (all cuts), shuffle (random, -seed), slap (ML
 // filtering, requires -model).
+//
+// -baseline runs an offline ECO: the baseline circuit is mapped first
+// (capturing a cut snapshot), then the subject graph is delta-remapped
+// against it — only the edited cone's cuts are re-enumerated (and, for
+// slap, re-classified) while the result stays byte-identical to a cold map.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +42,7 @@ func main() {
 	var (
 		circuitName = flag.String("circuit", "", "built-in circuit name (Table II row, e.g. adder, bar, AES)")
 		aagPath     = flag.String("aag", "", "map an ASCII AIGER (.aag) or BLIF (.blif) file instead of a built-in circuit; \"-\" reads from stdin (format auto-detected)")
+		baseline    = flag.String("baseline", "", "offline ECO: map this circuit file first, then delta-remap the subject against it (policies default, unlimited, slap)")
 		profileName = flag.String("profile", "fast", "design size profile: fast or paper")
 		policyName  = flag.String("policy", "default", "cut policy: default, unlimited, shuffle, slap")
 		modelPath   = flag.String("model", "", "trained model file (required for -policy slap)")
@@ -55,7 +63,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(runConfig{
-		circuit: *circuitName, aag: *aagPath, profile: *profileName,
+		circuit: *circuitName, aag: *aagPath, baseline: *baseline, profile: *profileName,
 		policy: *policyName, model: *modelPath, lib: *libPath,
 		seed: *seed, limit: *limit, workers: *workers, batch: *batch, batchWait: *batchWait,
 		streaming: *streaming, verify: *verify, list: *listNames,
@@ -69,13 +77,13 @@ func main() {
 
 // runConfig carries the parsed command-line options.
 type runConfig struct {
-	circuit, aag, profile, policy, model, lib string
-	seed                                      int64
-	limit, workers, batch                     int
-	batchWait                                 time.Duration
-	streaming                                 bool
-	verify, list, cells, report               bool
-	verilog, blif                             string
+	circuit, aag, baseline, profile, policy, model, lib string
+	seed                                                int64
+	limit, workers, batch                               int
+	batchWait                                           time.Duration
+	streaming                                           bool
+	verify, list, cells, report                         bool
+	verilog, blif                                       string
 	// stdin backs -aag "-"; nil falls back to os.Stdin.
 	stdin io.Reader
 }
@@ -84,7 +92,7 @@ func run(cfg runConfig) error {
 	circuitName, aagPath, policyName := cfg.circuit, cfg.aag, cfg.policy
 	modelPath, libPath := cfg.model, cfg.lib
 	seed, limit := cfg.seed, cfg.limit
-	verify, listNames, showCells := cfg.verify, cfg.list, cfg.cells
+	listNames := cfg.list
 	profile, err := experiments.ByName(cfg.profile)
 	if err != nil {
 		return err
@@ -115,6 +123,13 @@ func run(cfg runConfig) error {
 	}
 
 	var res *mapper.Result
+	if cfg.baseline != "" {
+		res, err = runECO(cfg, g, lib)
+		if err != nil {
+			return err
+		}
+		return printResult(cfg, g, res)
+	}
 	switch policyName {
 	case "default":
 		res, err = mapASIC(g, mapper.Options{Library: lib, Policy: cuts.DefaultPolicy{Limit: limit}, Workers: cfg.workers})
@@ -159,19 +174,23 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
+	return printResult(cfg, g, res)
+}
 
+// printResult renders the QoR block shared by the cold-map and ECO flows.
+func printResult(cfg runConfig, g *aig.AIG, res *mapper.Result) error {
 	fmt.Printf("policy:  %s\n", res.PolicyName)
 	fmt.Printf("area:    %.2f µm²\n", res.Area)
 	fmt.Printf("delay:   %.2f ps\n", res.Delay)
 	fmt.Printf("ADP:     %.1f\n", res.ADP())
 	fmt.Printf("cells:   %d\n", res.Netlist.NumCells())
 	fmt.Printf("cuts:    %d considered (peak %d live), %d match attempts\n", res.CutsConsidered, res.PeakCuts, res.MatchAttempts)
-	if showCells {
+	if cfg.cells {
 		for name, n := range res.Netlist.CellCounts() {
 			fmt.Printf("  %-10s %d\n", name, n)
 		}
 	}
-	if verify {
+	if cfg.verify {
 		if err := res.Netlist.EquivalentTo(g, 8, rand.New(rand.NewSource(99))); err != nil {
 			return fmt.Errorf("EQUIVALENCE FAILED: %w", err)
 		}
@@ -193,6 +212,97 @@ func run(cfg runConfig) error {
 		fmt.Printf("wrote BLIF to %s\n", cfg.blif)
 	}
 	return nil
+}
+
+// runECO is the -baseline flow: map the baseline circuit with snapshot
+// capture, then delta-remap the subject graph against it. Only the dirty
+// cone re-runs enumeration policy (and, for slap, CNN classification); the
+// returned result is byte-identical to a cold map of the subject.
+func runECO(cfg runConfig, g *aig.AIG, lib *library.Library) (*mapper.Result, error) {
+	bf, err := os.Open(cfg.baseline)
+	if err != nil {
+		return nil, err
+	}
+	base, derr := aig.Decode(aig.FormatForPath(cfg.baseline), bf)
+	bf.Close()
+	if derr != nil {
+		return nil, fmt.Errorf("loading -baseline: %w", derr)
+	}
+	fmt.Printf("baseline: %s\n", base.Stats())
+
+	switch cfg.policy {
+	case "default", "unlimited":
+		var p cuts.Policy = cuts.DefaultPolicy{Limit: cfg.limit}
+		if cfg.policy == "unlimited" {
+			p = cuts.UnlimitedPolicy{}
+		}
+		opt := mapper.Options{Library: lib, Policy: p, Workers: cfg.workers}
+		snap := mapper.NewSnapshot(base, opt)
+		capOpt := opt
+		capOpt.CaptureCuts = snap.Capture
+		mapASIC := mapper.Map
+		if cfg.streaming {
+			mapASIC = mapper.MapStream
+		}
+		t0 := time.Now()
+		if _, err := mapASIC(base, capOpt); err != nil {
+			return nil, fmt.Errorf("mapping baseline: %w", err)
+		}
+		baseD := time.Since(t0)
+		t1 := time.Now()
+		res, st, err := mapper.MapDelta(g, opt, snap)
+		if err != nil {
+			return nil, fmt.Errorf("delta remap: %w", err)
+		}
+		printDelta(st, baseD, time.Since(t1))
+		return res, nil
+	case "slap":
+		if cfg.model == "" {
+			return nil, fmt.Errorf("-policy slap requires -model (train one with slap-train)")
+		}
+		model, err := nn.LoadFile(cfg.model)
+		if err != nil {
+			return nil, err
+		}
+		s := core.New(model, lib)
+		s.Workers = cfg.workers
+		if cfg.batch >= 0 {
+			co := infer.NewCoalescer(infer.NewEngine(model, infer.Options{}), infer.CoalescerOptions{
+				MaxBatch: cfg.batch,
+				MaxWait:  cfg.batchWait,
+			})
+			defer co.Close()
+			s.Batch = co
+		}
+		ctx := context.Background()
+		capture := s.MapCaptureContext
+		if cfg.streaming {
+			capture = s.MapStreamCaptureContext
+		}
+		t0 := time.Now()
+		_, snap, err := capture(ctx, base)
+		if err != nil {
+			return nil, fmt.Errorf("mapping baseline: %w", err)
+		}
+		baseD := time.Since(t0)
+		t1 := time.Now()
+		res, _, st, err := s.MapDeltaContext(ctx, g, snap)
+		if err != nil {
+			return nil, fmt.Errorf("delta remap: %w", err)
+		}
+		printDelta(st, baseD, time.Since(t1))
+		return res, nil
+	default:
+		return nil, fmt.Errorf("policy %q is not ECO-eligible (want default, unlimited or slap)", cfg.policy)
+	}
+}
+
+// printDelta summarises how much of the baseline's work the delta reused.
+func printDelta(st *mapper.DeltaStats, baseD, deltaD time.Duration) {
+	fmt.Printf("eco:     baseline mapped in %s, delta remap in %s\n",
+		baseD.Round(time.Millisecond), deltaD.Round(time.Millisecond))
+	fmt.Printf("         dirty %d/%d ANDs (%.1f%%), %d cuts reused\n",
+		st.DirtyAnds, st.TotalAnds, 100*st.DirtyFraction, st.ReusedCuts)
 }
 
 func writeNetlistFile(path string, write func(io.Writer) error) error {

@@ -63,11 +63,25 @@ func ReadAAG(r io.Reader) (*AIG, error) {
 		if err != nil {
 			return nil, fmt.Errorf("aiger: bad header field %q: %v", header[i+1], err)
 		}
+		if v < 0 {
+			return nil, fmt.Errorf("aiger: negative header field %d", v)
+		}
 		nums[i] = v
 	}
 	maxVar, nIn, nLatch, nOut, nAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
 	if nLatch != 0 {
 		return nil, fmt.Errorf("aiger: latches are not supported (combinational AIGs only)")
+	}
+	// Sanity-check the header before sizing any allocation from it: the
+	// variable count must cover all declared definitions, and absurd counts
+	// (beyond any graph this toolkit handles) are rejected outright rather
+	// than exhausting memory on a malformed file.
+	const maxReasonable = 1 << 26
+	if maxVar > maxReasonable || nOut > maxReasonable {
+		return nil, fmt.Errorf("aiger: header counts too large (maxVar %d, outputs %d)", maxVar, nOut)
+	}
+	if nIn+nAnd > maxVar {
+		return nil, fmt.Errorf("aiger: %d inputs + %d ANDs exceed maxVar %d", nIn, nAnd, maxVar)
 	}
 
 	g := New("")
@@ -95,6 +109,15 @@ func ReadAAG(r io.Reader) (*AIG, error) {
 		}
 		return strconv.ParseUint(strings.TrimSpace(sc.Text()), 10, 32)
 	}
+	// defSlot validates a definition literal (PI or AND output) against the
+	// header's maxVar before it is used as a lit2lit index.
+	defSlot := func(fileLit uint64) (uint64, error) {
+		slot := fileLit &^ 1
+		if slot < 2 || int(fileLit) >= len(lit2lit) {
+			return 0, fmt.Errorf("aiger: definition literal %d out of range (maxVar %d)", fileLit, maxVar)
+		}
+		return slot, nil
+	}
 
 	type rawPO struct{ lit uint64 }
 	fileIns := make([]uint64, nIn)
@@ -104,7 +127,11 @@ func ReadAAG(r io.Reader) (*AIG, error) {
 			return nil, err
 		}
 		fileIns[i] = v
-		lit2lit[v&^1] = g.AddPI("")
+		slot, err := defSlot(v)
+		if err != nil {
+			return nil, err
+		}
+		lit2lit[slot] = g.AddPI("")
 	}
 	filePOs := make([]rawPO, nOut)
 	for i := 0; i < nOut; i++ {
@@ -138,7 +165,11 @@ func ReadAAG(r io.Reader) (*AIG, error) {
 		if err != nil {
 			return nil, err
 		}
-		lit2lit[vals[0]&^1] = g.And(a, b).NotIf(vals[0]&1 == 1)
+		slot, err := defSlot(vals[0])
+		if err != nil {
+			return nil, err
+		}
+		lit2lit[slot] = g.And(a, b).NotIf(vals[0]&1 == 1)
 	}
 
 	poNames := make(map[int]string)
@@ -154,7 +185,11 @@ func ReadAAG(r io.Reader) (*AIG, error) {
 		if len(line) < 2 {
 			continue
 		}
-		idx, err := strconv.Atoi(strings.Fields(line[1:])[0])
+		rest := strings.Fields(line[1:])
+		if len(rest) == 0 {
+			continue
+		}
+		idx, err := strconv.Atoi(rest[0])
 		if err != nil {
 			continue
 		}

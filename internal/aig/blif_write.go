@@ -1,0 +1,106 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// blifToken reports whether a name can be written as a single BLIF token:
+// non-empty, no whitespace or continuation characters, no leading dot or
+// comment marker, and not shadowing the "$n<id>" internal namespace.
+func blifToken(name string) bool {
+	if name == "" || strings.ContainsAny(name, " \t\\#") ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "$n") {
+		return false
+	}
+	return true
+}
+
+// WriteBLIF encodes the AIG as a combinational BLIF model: one two-input
+// .names table per AND node (cube characters 0/1 encode fanin complement
+// bits) plus one buffer/inverter table per primary output. Internal signals
+// are named "$n<id>" to avoid clashing with user PI/PO names. Reading the
+// output back with ReadBLIF reconstructs a structurally identical graph up
+// to node-id permutation and dropped dead nodes, so StructuralHash is
+// preserved across the round trip.
+func WriteBLIF(w io.Writer, g *AIG) error {
+	names := make(map[string]bool, len(g.piName)+len(g.pos))
+	for _, n := range g.piName {
+		if !blifToken(n) {
+			return fmt.Errorf("blif: PI name %q is not encodable", n)
+		}
+		if names[n] {
+			return fmt.Errorf("blif: duplicate PI name %q", n)
+		}
+		names[n] = true
+	}
+	for _, po := range g.pos {
+		if !blifToken(po.Name) {
+			return fmt.Errorf("blif: PO name %q is not encodable", po.Name)
+		}
+		if names[po.Name] {
+			return fmt.Errorf("blif: duplicate or PI-clashing PO name %q", po.Name)
+		}
+		names[po.Name] = true
+	}
+
+	bw := bufio.NewWriter(w)
+	name := g.Name
+	if name == "" {
+		name = "aig"
+	}
+	fmt.Fprintf(bw, ".model %s\n", name)
+
+	// signal returns the BLIF name of a node's positive output.
+	piIdx := make(map[uint32]int, len(g.pis))
+	for i, n := range g.pis {
+		piIdx[n] = i
+	}
+	signal := func(n uint32) string {
+		if g.IsPI(n) {
+			return g.piName[piIdx[n]]
+		}
+		return fmt.Sprintf("$n%d", n)
+	}
+
+	bw.WriteString(".inputs")
+	for _, n := range g.piName {
+		fmt.Fprintf(bw, " %s", n)
+	}
+	bw.WriteString("\n.outputs")
+	for _, po := range g.pos {
+		fmt.Fprintf(bw, " %s", po.Name)
+	}
+	bw.WriteString("\n")
+
+	cubeBit := func(l Lit) byte {
+		if l.IsCompl() {
+			return '0'
+		}
+		return '1'
+	}
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		f0, f1 := g.Fanins(n)
+		fmt.Fprintf(bw, ".names %s %s %s\n%c%c 1\n",
+			signal(f0.Node()), signal(f1.Node()), signal(n),
+			cubeBit(f0), cubeBit(f1))
+	}
+	for _, po := range g.pos {
+		switch po.Lit {
+		case ConstFalse:
+			fmt.Fprintf(bw, ".names %s\n", po.Name) // empty table = constant 0
+		case ConstTrue:
+			fmt.Fprintf(bw, ".names %s\n1\n", po.Name)
+		default:
+			fmt.Fprintf(bw, ".names %s %s\n%c 1\n",
+				signal(po.Lit.Node()), po.Name, cubeBit(po.Lit))
+		}
+	}
+	bw.WriteString(".end\n")
+	return bw.Flush()
+}

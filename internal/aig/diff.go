@@ -1,0 +1,127 @@
+package aig
+
+import "sort"
+
+// Alignment is a partial, order-preserving node correspondence between two
+// AIGs, produced by Align. Matched pairs have identical ordered cone hashes
+// (see ConeHashes), so the matched cones are isomorphic including stored
+// fanin order; unmatched entries are -1.
+type Alignment struct {
+	// NewToOld maps a node id of the new graph to its counterpart in the
+	// old graph, or -1.
+	NewToOld []int32
+	// OldToNew is the inverse map.
+	OldToNew []int32
+	// Matched counts matched node pairs (including the constant node).
+	Matched int
+}
+
+// Align matches nodes of a new graph against an old one by ordered cone
+// hash. Hash values that occur more than once in either graph are treated
+// as unmatchable (genuine duplicates are impossible under structural
+// hashing — only collisions — so this only discards noise). The surviving
+// pairs are pruned to a longest increasing subsequence over old ids, so the
+// final correspondence is strictly monotone in both directions: node
+// creation order is topological order, and a monotone id map preserves
+// every order-sensitive downstream artifact (cut merge order, leaf sort
+// order, dedup first-occurrence).
+func Align(newHashes, oldHashes []uint64) *Alignment {
+	al := &Alignment{
+		NewToOld: make([]int32, len(newHashes)),
+		OldToNew: make([]int32, len(oldHashes)),
+	}
+	for i := range al.NewToOld {
+		al.NewToOld[i] = -1
+	}
+	for i := range al.OldToNew {
+		al.OldToNew[i] = -1
+	}
+
+	const ambiguous = -2
+	oldByHash := make(map[uint64]int32, len(oldHashes))
+	for i, h := range oldHashes {
+		if _, dup := oldByHash[h]; dup {
+			oldByHash[h] = ambiguous
+		} else {
+			oldByHash[h] = int32(i)
+		}
+	}
+	seenNew := make(map[uint64]bool, len(newHashes))
+	dupNew := make(map[uint64]bool)
+	for _, h := range newHashes {
+		if seenNew[h] {
+			dupNew[h] = true
+		}
+		seenNew[h] = true
+	}
+
+	// Candidate pairs in ascending new-id order.
+	type pair struct{ newID, oldID int32 }
+	var pairs []pair
+	for i, h := range newHashes {
+		if dupNew[h] {
+			continue
+		}
+		if o, ok := oldByHash[h]; ok && o != ambiguous {
+			pairs = append(pairs, pair{int32(i), o})
+		}
+	}
+
+	// Longest strictly-increasing subsequence over oldID (patience sort).
+	// tails[k] = index into pairs of the smallest tail of an increasing
+	// subsequence of length k+1.
+	tails := make([]int, 0, len(pairs))
+	prev := make([]int, len(pairs))
+	for i := range pairs {
+		o := pairs[i].oldID
+		k := sort.Search(len(tails), func(j int) bool { return pairs[tails[j]].oldID >= o })
+		if k > 0 {
+			prev[i] = tails[k-1]
+		} else {
+			prev[i] = -1
+		}
+		if k == len(tails) {
+			tails = append(tails, i)
+		} else {
+			tails[k] = i
+		}
+	}
+	if len(tails) > 0 {
+		for i := tails[len(tails)-1]; i >= 0; i = prev[i] {
+			p := pairs[i]
+			al.NewToOld[p.newID] = p.oldID
+			al.OldToNew[p.oldID] = p.newID
+			al.Matched++
+		}
+	}
+	return al
+}
+
+// OverlapFraction estimates how much of the smaller hash multiset is shared
+// between two graphs' ordered cone hashes — a cheap pre-alignment score for
+// picking the nearest cached relative. Duplicated hashes count once.
+func OverlapFraction(a, b []uint64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[uint64]struct{}, len(a))
+	for _, h := range a {
+		set[h] = struct{}{}
+	}
+	shared := 0
+	seen := make(map[uint64]struct{}, len(b))
+	for _, h := range b {
+		if _, dup := seen[h]; dup {
+			continue
+		}
+		seen[h] = struct{}{}
+		if _, ok := set[h]; ok {
+			shared++
+		}
+	}
+	min := len(set)
+	if len(seen) < min {
+		min = len(seen)
+	}
+	return float64(shared) / float64(min)
+}

@@ -1,0 +1,257 @@
+package aig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildTestGraph makes a small but non-trivial graph: a 4-bit ripple adder
+// with a parity output, exercising shared structure and inverted edges.
+func buildTestGraph() *AIG {
+	g := New("sh_test")
+	var a, b [4]Lit
+	for i := range a {
+		a[i] = g.AddPI("")
+	}
+	for i := range b {
+		b[i] = g.AddPI("")
+	}
+	carry := ConstFalse
+	var parity Lit = ConstFalse
+	for i := 0; i < 4; i++ {
+		s := g.Xor(g.Xor(a[i], b[i]), carry)
+		carry = g.Maj(a[i], b[i], carry)
+		g.AddPO("", s)
+		parity = g.Xor(parity, s)
+	}
+	g.AddPO("cout", carry)
+	g.AddPO("parity", parity)
+	return g
+}
+
+// translate rebuilds g node by node through the strashing constructor,
+// adding POs in the order given by perm (indices into g.POs()).
+func translate(g *AIG, perm []int) *AIG {
+	h := New(g.Name)
+	lits := make([]Lit, g.NumNodes())
+	lits[0] = ConstFalse
+	pi := 0
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		switch {
+		case g.IsPI(n):
+			lits[n] = h.AddPI(g.PIName(pi))
+			pi++
+		case g.IsAnd(n):
+			f0, f1 := g.Fanins(n)
+			lits[n] = h.And(
+				lits[f0.Node()].NotIf(f0.IsCompl()),
+				lits[f1.Node()].NotIf(f1.IsCompl()))
+		}
+	}
+	for _, i := range perm {
+		po := g.POs()[i]
+		lits0 := lits[po.Lit.Node()].NotIf(po.Lit.IsCompl())
+		h.AddPO(po.Name, lits0)
+	}
+	return h
+}
+
+func TestStructuralHashAAGRoundTrip(t *testing.T) {
+	g := buildTestGraph()
+	want := g.StructuralHash()
+	var buf bytes.Buffer
+	if err := g.WriteAAG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadAAG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.StructuralHash(); got != want {
+		t.Fatalf("AAG round trip changed StructuralHash: %#x != %#x", got, want)
+	}
+}
+
+func TestStructuralHashBLIFRoundTrip(t *testing.T) {
+	g := buildTestGraph()
+	want := g.StructuralHash()
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadBLIF(&buf)
+	if err != nil {
+		t.Fatalf("reader rejected writer output: %v\n%s", err, buf.String())
+	}
+	if got := h.StructuralHash(); got != want {
+		t.Fatalf("BLIF round trip changed StructuralHash: %#x != %#x", got, want)
+	}
+	// BLIF resolution rebuilds depth-first from the outputs, so node ids are
+	// permuted relative to the original; a byte-level netlist match is not
+	// expected, but the functional interface must survive.
+	if h.NumPIs() != g.NumPIs() || h.NumPOs() != g.NumPOs() {
+		t.Fatalf("BLIF round trip changed interface: %d/%d PIs, %d/%d POs",
+			h.NumPIs(), g.NumPIs(), h.NumPOs(), g.NumPOs())
+	}
+}
+
+func TestStructuralHashPOOrderInsensitive(t *testing.T) {
+	g := buildTestGraph()
+	want := g.StructuralHash()
+	n := g.NumPOs()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = n - 1 - i
+	}
+	rev := translate(g, perm)
+	if got := rev.StructuralHash(); got != want {
+		t.Fatalf("PO order changed StructuralHash: %#x != %#x", got, want)
+	}
+	// Rotated order too.
+	for i := range perm {
+		perm[i] = (i + 3) % n
+	}
+	rot := translate(g, perm)
+	if got := rot.StructuralHash(); got != want {
+		t.Fatalf("PO rotation changed StructuralHash: %#x != %#x", got, want)
+	}
+}
+
+func TestStructuralHashSensitivity(t *testing.T) {
+	g := buildTestGraph()
+	want := g.StructuralHash()
+
+	perm := make([]int, g.NumPOs())
+	for i := range perm {
+		perm[i] = i
+	}
+
+	// Complementing one PO must change the hash.
+	h2 := translate(g, perm)
+	h2.pos[2].Lit = h2.pos[2].Lit.Not()
+	if h2.StructuralHash() == want {
+		t.Fatal("complementing a PO did not change StructuralHash")
+	}
+
+	// Dropping a PO must change the hash.
+	h3 := translate(g, perm[:len(perm)-1])
+	if h3.StructuralHash() == want {
+		t.Fatal("dropping a PO did not change StructuralHash")
+	}
+
+	// Renaming everything must NOT change the hash.
+	h4 := translate(g, perm)
+	for i := range h4.piName {
+		h4.piName[i] = "renamed_in"
+	}
+	for i := range h4.pos {
+		h4.pos[i].Name = "renamed_out"
+	}
+	if h4.StructuralHash() != want {
+		t.Fatal("renaming changed StructuralHash")
+	}
+}
+
+func TestConeHashesDistinguishNodes(t *testing.T) {
+	g := buildTestGraph()
+	hs := g.ConeHashes()
+	seen := make(map[uint64]uint32)
+	for n := uint32(0); n < uint32(g.NumNodes()); n++ {
+		if prev, dup := seen[hs[n]]; dup {
+			t.Fatalf("cone hash collision between nodes %d and %d", prev, n)
+		}
+		seen[hs[n]] = n
+	}
+}
+
+func TestAlignIdentityAndEdit(t *testing.T) {
+	g := buildTestGraph()
+	hs := g.ConeHashes()
+	al := Align(hs, hs)
+	if al.Matched != g.NumNodes() {
+		t.Fatalf("self-alignment matched %d of %d nodes", al.Matched, g.NumNodes())
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		if al.NewToOld[n] != int32(n) || al.OldToNew[n] != int32(n) {
+			t.Fatalf("self-alignment not identity at node %d", n)
+		}
+	}
+
+	// A structurally edited copy (one fanin complement flipped mid-graph)
+	// still aligns on the untouched upstream region.
+	ed := New(g.Name)
+	lits := make([]Lit, g.NumNodes())
+	pi, ands := 0, 0
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		switch {
+		case g.IsPI(n):
+			lits[n] = ed.AddPI(g.PIName(pi))
+			pi++
+		case g.IsAnd(n):
+			f0, f1 := g.Fanins(n)
+			a := lits[f0.Node()].NotIf(f0.IsCompl())
+			b := lits[f1.Node()].NotIf(f1.IsCompl())
+			ands++
+			if ands == 10 {
+				a = a.Not() // the edit
+			}
+			lits[n] = ed.And(a, b)
+		}
+	}
+	for _, po := range g.POs() {
+		ed.AddPO(po.Name, lits[po.Lit.Node()].NotIf(po.Lit.IsCompl()))
+	}
+	al2 := Align(ed.ConeHashes(), hs)
+	if al2.Matched <= g.NumPIs()+1 || al2.Matched >= g.NumNodes() {
+		t.Fatalf("edited graph matched %d of %d nodes, want a proper subset beyond the PIs",
+			al2.Matched, g.NumNodes())
+	}
+	if f := OverlapFraction(ed.ConeHashes(), hs); f < 0.2 || f >= 1.0 {
+		t.Fatalf("overlap fraction %.2f out of expected range", f)
+	}
+}
+
+// FuzzStructuralHash checks that any graph the AIGER parser accepts keeps
+// its structural hash across AIGER and BLIF encode→decode round trips.
+func FuzzStructuralHash(f *testing.F) {
+	f.Add("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 x\ni1 y\no0 and\n")
+	f.Add("aag 5 2 0 2 3\n2\n4\n10\n11\n6 2 4\n8 3 5\n10 7 9\n")
+	f.Add("aag 1 1 0 2 0\n2\n2\n3\n")
+	f.Add("aag 0 0 0 1 0\n1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadAAG(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		want := g.StructuralHash()
+
+		var buf bytes.Buffer
+		if err := g.WriteAAG(&buf); err != nil {
+			t.Fatalf("WriteAAG failed: %v", err)
+		}
+		h, err := ReadAAG(&buf)
+		if err != nil {
+			t.Fatalf("writer output rejected: %v", err)
+		}
+		if got := h.StructuralHash(); got != want {
+			t.Fatalf("AAG round trip changed StructuralHash: %#x != %#x", got, want)
+		}
+
+		buf.Reset()
+		if g.NumPIs() == 0 && g.NumPOs() == 0 {
+			return // an interface-free model is not expressible in BLIF
+		}
+		// Fuzzed symbol tables can produce clashing names, which WriteBLIF
+		// rejects; only a successful encode is required to round-trip.
+		if err := WriteBLIF(&buf, g); err == nil {
+			b, err := ReadBLIF(&buf)
+			if err != nil {
+				t.Fatalf("BLIF reader rejected writer output: %v\n%s", err, buf.String())
+			}
+			if got := b.StructuralHash(); got != want {
+				t.Fatalf("BLIF round trip changed StructuralHash: %#x != %#x", got, want)
+			}
+		}
+	})
+}

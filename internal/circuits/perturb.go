@@ -1,0 +1,51 @@
+package circuits
+
+import (
+	"math/rand"
+
+	"slap/internal/aig"
+)
+
+// Perturb returns a structurally edited copy of g: each AND node's first
+// fanin has its complement bit flipped with the given probability, which
+// dirties that node's entire transitive fanout cone while leaving the rest
+// of the graph byte-identical. This models an ECO edit for the
+// delta-remapping flow; determinism follows from the seed. Flipped nodes
+// can fold away in the strashing constructor (e.g. AND(a, !a) = 0), so the
+// copy may be slightly smaller than the original.
+func Perturb(g *aig.AIG, seed int64, fraction float64) *aig.AIG {
+	return PerturbSpan(g, seed, 0, 1, fraction)
+}
+
+// PerturbSpan is Perturb restricted to the AND nodes whose id falls in the
+// [start, end) fraction of the node-id range — a *localised* edit, the
+// shape real ECOs take: a late span (close to the POs) leaves most of the
+// design's fanin cones untouched, while start=0, end=1 recovers the
+// uniform Perturb.
+func PerturbSpan(g *aig.AIG, seed int64, start, end, fraction float64) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	lo := uint32(start * float64(g.NumNodes()))
+	hi := uint32(end * float64(g.NumNodes()))
+	h := aig.New(g.Name)
+	lits := make([]aig.Lit, g.NumNodes())
+	pi := 0
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		switch {
+		case g.IsPI(n):
+			lits[n] = h.AddPI(g.PIName(pi))
+			pi++
+		case g.IsAnd(n):
+			f0, f1 := g.Fanins(n)
+			a := lits[f0.Node()].NotIf(f0.IsCompl())
+			b := lits[f1.Node()].NotIf(f1.IsCompl())
+			if n >= lo && n < hi && rng.Float64() < fraction {
+				a = a.Not()
+			}
+			lits[n] = h.And(a, b)
+		}
+	}
+	for _, po := range g.POs() {
+		h.AddPO(po.Name, lits[po.Lit.Node()].NotIf(po.Lit.IsCompl()))
+	}
+	return h
+}

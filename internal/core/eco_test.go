@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"slap/internal/circuits"
+	"slap/internal/mapcache"
+	"slap/internal/mapper"
+)
+
+func slapNetlistBytes(t *testing.T, r *mapper.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Netlist.WriteBLIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func requireSameSlapResult(t *testing.T, name string, full, delta *mapper.Result) {
+	t.Helper()
+	if fb, db := slapNetlistBytes(t, full), slapNetlistBytes(t, delta); !bytes.Equal(fb, db) {
+		t.Fatalf("%s: netlist bytes differ:\n--- full ---\n%s\n--- delta ---\n%s", name, fb, db)
+	}
+	if full.Area != delta.Area || full.Delay != delta.Delay || full.EstimatedDelay != delta.EstimatedDelay {
+		t.Fatalf("%s: QoR differs: full (%v, %v, %v), delta (%v, %v, %v)", name,
+			full.Area, full.Delay, full.EstimatedDelay, delta.Area, delta.Delay, delta.EstimatedDelay)
+	}
+	if full.CutsConsidered != delta.CutsConsidered || full.MatchAttempts != delta.MatchAttempts {
+		t.Fatalf("%s: counters differ: cuts %d/%d, attempts %d/%d", name,
+			full.CutsConsidered, delta.CutsConsidered, full.MatchAttempts, delta.MatchAttempts)
+	}
+	if delta.PolicyName != "slap" {
+		t.Fatalf("%s: policy %q, want slap", name, delta.PolicyName)
+	}
+}
+
+// TestSlapMapDeltaByteIdentical pins the SLAP-level ECO: delta-remapping an
+// edited design against a captured baseline reproduces the full flow's
+// result byte-for-byte while re-running inference on the dirty cone only,
+// for both capture flows and across worker counts.
+func TestSlapMapDeltaByteIdentical(t *testing.T) {
+	base := circuits.BoothMultiplier(6)
+	edited := circuits.Perturb(base, 7, 0.03)
+	ctx := context.Background()
+
+	for _, streaming := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			name := "twophase"
+			if streaming {
+				name = "stream"
+			}
+			if workers > 1 {
+				name += "/par"
+			}
+			t.Run(name, func(t *testing.T) {
+				s := untrained(3)
+				s.Workers = workers
+
+				var snap *SlapSnapshot
+				var err error
+				if streaming {
+					_, snap, err = s.MapStreamCaptureContext(ctx, base)
+				} else {
+					_, snap, err = s.MapCaptureContext(ctx, base)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if snap.SnapshotBytes() <= 0 || len(snap.NodeHashes()) != base.NumNodes() {
+					t.Fatalf("snapshot malformed: %d bytes, %d hashes",
+						snap.SnapshotBytes(), len(snap.NodeHashes()))
+				}
+
+				full, err := s.MapContext(ctx, edited)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta, next, st, err := s.MapDeltaContext(ctx, edited, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameSlapResult(t, "delta", full, delta)
+				if st.DirtyAnds == 0 || st.DirtyAnds >= st.TotalAnds {
+					t.Fatalf("dirty cone %d/%d ANDs: edit not detected or nothing reused",
+						st.DirtyAnds, st.TotalAnds)
+				}
+				if st.ReusedCuts == 0 {
+					t.Fatal("no cuts reused")
+				}
+
+				// The chained snapshot works too: a second edit delta-remaps
+				// against the first delta's own capture.
+				edited2 := circuits.Perturb(edited, 8, 0.03)
+				full2, err := s.MapContext(ctx, edited2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta2, _, st2, err := s.MapDeltaContext(ctx, edited2, next)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameSlapResult(t, "chained", full2, delta2)
+				if st2.ReusedCuts == 0 {
+					t.Fatal("chained delta reused nothing")
+				}
+			})
+		}
+	}
+}
+
+// TestSlapMapDeltaIdenticalGraph pins the degenerate ECO: resubmitting the
+// baseline graph itself reuses every node.
+func TestSlapMapDeltaIdenticalGraph(t *testing.T) {
+	g := circuits.TrainRC16()
+	s := untrained(5)
+	ctx := context.Background()
+	full, snap, err := s.MapCaptureContext(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, _, st, err := s.MapDeltaContext(ctx, g, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSlapResult(t, "identical", full, delta)
+	if st.DirtyAnds != 0 {
+		t.Fatalf("identical graph has %d dirty ANDs, want 0", st.DirtyAnds)
+	}
+}
+
+// TestSlapMapDeltaMismatch pins the refusal contract: configuration drift
+// and nil snapshots are rejected so callers fall back to a cold map.
+func TestSlapMapDeltaMismatch(t *testing.T) {
+	g := circuits.TrainRC16()
+	s := untrained(5)
+	ctx := context.Background()
+	_, snap, err := s.MapCaptureContext(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.MapDeltaContext(ctx, g, nil); !errors.Is(err, ErrSlapDeltaIneligible) {
+		t.Fatalf("nil snapshot: err = %v", err)
+	}
+	drift := untrained(5)
+	drift.GoodMax = s.GoodMax + 1
+	drift.Model, drift.Library = s.Model, s.Library
+	if _, _, _, err := drift.MapDeltaContext(ctx, g, snap); !errors.Is(err, ErrSlapSnapshotMismatch) {
+		t.Fatalf("threshold drift: err = %v", err)
+	}
+	other := untrained(6) // different model pointer
+	other.Library = s.Library
+	if _, _, _, err := other.MapDeltaContext(ctx, g, snap); !errors.Is(err, ErrSlapSnapshotMismatch) {
+		t.Fatalf("model drift: err = %v", err)
+	}
+}
+
+// TestMapCachedFlow drives the serving entry point end to end: cold miss,
+// exact O(1) repeat, and an ECO-served edit, with the verify hook running
+// exactly once per fresh mapping.
+func TestMapCachedFlow(t *testing.T) {
+	s := untrained(3)
+	cache := mapcache.New(0)
+	ctx := context.Background()
+	g := circuits.BoothMultiplier(6)
+	verifies := 0
+	opt := CachedOptions{ECO: true, Verify: func(*mapper.Result) bool { verifies++; return true }}
+
+	cold, out, err := s.MapCached(ctx, g, cache, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hit || out.ECO || !out.Verified || verifies != 1 {
+		t.Fatalf("cold map outcome %+v, verifies %d", out, verifies)
+	}
+
+	repeat, out, err := s.MapCached(ctx, g, cache, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Hit || out.ECO || repeat != cold || verifies != 1 {
+		t.Fatalf("repeat outcome %+v (same result %v), verifies %d", out, repeat == cold, verifies)
+	}
+
+	// A localised edit near the POs (the shape real ECOs take) keeps the
+	// cone overlap above the Nearest gate.
+	edited := circuits.PerturbSpan(g, 7, 0.9, 1.0, 0.3)
+	full, err := s.MapContext(ctx, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco, out, err := s.MapCached(ctx, edited, cache, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.ECO || out.Hit || out.DirtyFraction <= 0 || out.DirtyFraction >= 1 || verifies != 2 {
+		t.Fatalf("eco outcome %+v, verifies %d", out, verifies)
+	}
+	requireSameSlapResult(t, "cached-eco", full, eco)
+
+	st := cache.Stats()
+	if st.Hits < 1 || st.ECOHits != 1 || st.Entries != 2 {
+		t.Fatalf("cache stats %+v, want >=1 hit, 1 eco hit, 2 entries", st)
+	}
+
+	// The ECO result is itself cached: resubmitting the edit is an exact hit.
+	if _, out, err = s.MapCached(ctx, edited, cache, opt); err != nil || !out.Hit {
+		t.Fatalf("edited resubmission outcome %+v err %v", out, err)
+	}
+
+	// A nil cache degrades to a plain map.
+	plain, out, err := s.MapCached(ctx, g, nil, opt)
+	if err != nil || out.Hit || out.ECO || !out.Verified {
+		t.Fatalf("nil-cache outcome %+v err %v", out, err)
+	}
+	requireSameSlapResult(t, "nil-cache", cold, plain)
+}

@@ -313,15 +313,33 @@ func (s *SLAP) FilterCutsContext(ctx context.Context, g *aig.AIG) (*cuts.Result,
 	emb := embed.NewEmbedder(g)
 	emb.PrecomputeAll()
 
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	nodes := make([]uint32, 0, g.NumNodes())
 	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
 		if g.IsAnd(n) {
 			nodes = append(nodes, n)
 		}
+	}
+	if err := s.filterSubset(ctx, emb, nodes, res.Sets); err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for _, n := range nodes {
+		total += len(res.Sets[n])
+	}
+	res.TotalCuts = total
+	return res, nil
+}
+
+// filterSubset runs the ML keep decision over the listed AND nodes,
+// rewriting sets[n] in place: the strided worker loop shared by the full
+// filter pass and the ECO delta path (which hands it dirty nodes only),
+// with first-error-wins cancellation of the siblings — e.g. a batching
+// backend closing mid-map.
+func (s *SLAP) filterSubset(ctx context.Context, emb *embed.Embedder, nodes []uint32, sets [][]cuts.Cut) error {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -340,31 +358,20 @@ func (s *SLAP) FilterCutsContext(ctx context.Context, g *aig.AIG) (*cuts.Result,
 					return
 				}
 				n := nodes[ni]
-				out, err := s.filterNode(cctx, emb, n, res.Sets[n], sc)
+				out, err := s.filterNode(cctx, emb, n, sets[n], sc)
 				if err != nil {
-					// First failure wins and cancels the siblings — e.g. a
-					// batching backend closing mid-map.
 					errOnce.Do(func() { firstErr = err; cancel() })
 					return
 				}
-				res.Sets[n] = out
+				sets[n] = out
 			}
 		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	total := 0
-	for _, n := range nodes {
-		total += len(res.Sets[n])
-	}
-	res.TotalCuts = total
-	return res, nil
+	return firstErr
 }
 
 // nonTrivialIdx lists the indices of the non-trivial cuts of n within cs.

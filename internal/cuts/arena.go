@@ -243,6 +243,8 @@ type PoolStats struct {
 	Misses int64
 	// Cached is the number of arenas currently parked in the pool.
 	Cached int
+	// Evictions counts arenas dropped because the pool exceeded its cap.
+	Evictions int64
 }
 
 // DefaultPoolArenas is the default Pool capacity.
@@ -252,13 +254,14 @@ const DefaultPoolArenas = 8
 // same design reuse cut storage across runs. Safe for concurrent use; each
 // checked-out Arena serves exactly one run at a time.
 type Pool struct {
-	mu     sync.Mutex
-	arenas map[GraphKey][]*Arena
-	max    int
-	gen    int64
-	hits   int64
-	misses int64
-	cached int
+	mu        sync.Mutex
+	arenas    map[GraphKey][]*Arena
+	max       int
+	gen       int64
+	hits      int64
+	misses    int64
+	cached    int
+	evictions int64
 }
 
 // NewPool builds a pool holding at most max arenas (0 or negative means
@@ -332,11 +335,12 @@ func (p *Pool) evictOldestLocked() {
 		p.arenas[oldKey] = l
 	}
 	p.cached--
+	p.evictions++
 }
 
 // Stats returns reuse counters for metrics.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Hits: p.hits, Misses: p.misses, Cached: p.cached}
+	return PoolStats{Hits: p.hits, Misses: p.misses, Cached: p.cached, Evictions: p.evictions}
 }

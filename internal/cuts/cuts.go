@@ -49,6 +49,10 @@ func (c *Cut) IsTrivial(root uint32) bool {
 	return len(c.Leaves) == 1 && c.Leaves[0] == root
 }
 
+// LeafSig recomputes a cut's Bloom signature from its leaves — needed when
+// leaves are rewritten in place (e.g. translated through an ECO alignment).
+func LeafSig(leaves []uint32) uint64 { return leafSig(leaves) }
+
 func leafSig(leaves []uint32) uint64 {
 	var s uint64
 	for _, l := range leaves {
@@ -272,6 +276,44 @@ func (e *Enumerator) Run() *Result {
 		e.runWavefront(res, capN, workers)
 	} else {
 		e.runSequential(res, capN)
+	}
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if g.IsAnd(n) {
+			res.TotalCuts += len(res.Sets[n])
+		}
+	}
+	res.PeakCuts = res.TotalCuts
+	return res
+}
+
+// RunWithReuse enumerates like the sequential Run path, but consults
+// reuse(n) before processing each AND node: a non-nil list is installed
+// verbatim and the node's merge/policy pipeline is skipped, while a nil
+// return falls through to normal processing. The supplied list must be a
+// complete post-policy cut list (including the trivial cut) whose leaves
+// are valid node ids of e.G — in the ECO flow it is a cached baseline list
+// translated through a monotone node alignment, which makes it byte-equal
+// to what fresh enumeration would produce, so downstream nodes merging it
+// see exactly the fresh-run inputs.
+func (e *Enumerator) RunWithReuse(reuse func(n uint32) []Cut) *Result {
+	g := e.G
+	capN := e.MergeCap
+	if capN == 0 {
+		capN = DefaultMergeCap
+	}
+	res := &Result{Sets: make([][]Cut, g.NumNodes())}
+	s := e.scratch()
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		switch {
+		case g.IsPI(n):
+			res.Sets[n] = []Cut{trivialCut(n)}
+		case g.IsAnd(n):
+			if cs := reuse(n); cs != nil {
+				res.Sets[n] = cs
+				continue
+			}
+			e.processNode(s, res, n, capN)
+		}
 	}
 	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
 		if g.IsAnd(n) {

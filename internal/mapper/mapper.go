@@ -50,6 +50,13 @@ type Options struct {
 	// storage in and out across runs of the same graph shape. Ignored by the
 	// two-phase Map.
 	Pool *cuts.Pool
+	// CaptureCuts, when set, observes every AND node's finalised
+	// post-policy cut list exactly once, before the mapper's fallback pass
+	// can mutate it and (on the streaming path) before the enumerator
+	// retires its storage — the hook must copy anything it keeps. Invoked
+	// from a single goroutine. Ignored when CutSets is supplied. Snapshot.
+	// Capture fits this hook to record an ECO baseline.
+	CaptureCuts func(n uint32, cs []cuts.Cut)
 }
 
 // DefaultMaxFanout is the post-mapping fanout bound.
@@ -165,6 +172,14 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		res = e.Run()
 		if opt.Policy != nil {
 			policyName = opt.Policy.Name()
+		}
+	}
+
+	if opt.CaptureCuts != nil && opt.CutSets == nil {
+		for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+			if g.IsAnd(n) {
+				opt.CaptureCuts(n, res.Sets[n])
+			}
 		}
 	}
 

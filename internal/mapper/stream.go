@@ -166,6 +166,9 @@ func MapStream(g *aig.AIG, opt Options) (*Result, error) {
 	e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers, Arena: arena}
 	res, err := e.RunStream(func(_ int32, nodes []uint32, sets [][]cuts.Cut) error {
 		for _, n := range nodes {
+			if opt.CaptureCuts != nil {
+				opt.CaptureCuts(n, sets[n])
+			}
 			st.ConsumeNode(n, sets[n])
 		}
 		return nil

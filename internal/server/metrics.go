@@ -10,6 +10,7 @@ import (
 
 	"slap/internal/cuts"
 	"slap/internal/infer"
+	"slap/internal/mapcache"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
@@ -30,6 +31,11 @@ var queueWaitBuckets = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
 	0.01, 0.025, 0.05, 0.1, 0.5,
 }
+
+// dirtyFractionBuckets are the upper bounds of the ECO dirty-cone-fraction
+// histogram: the share of AND nodes a delta remap had to re-process.
+// Small fractions are the payoff region, so the buckets concentrate there.
+var dirtyFractionBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 0.9}
 
 // Metrics aggregates service observability: per-endpoint/status request
 // counts, a global latency histogram, cut throughput, and the scheduler's
@@ -59,11 +65,18 @@ type Metrics struct {
 	// mark (two-phase mappings report their total, so the gauge also shows
 	// how much the fused flow saves).
 	peakCutsMax int64
+	// ECO delta-remap telemetry: dirty-cone-fraction histogram.
+	dirtyBuckets []int64
+	dirtySum     float64
+	dirtyCount   int64
 	// degraded reports current degradation reasons (nil = never degraded);
 	// set once at server assembly, read at scrape time.
 	degraded func() []string
 	// arenaStats reports the cut-arena pool counters (nil = no pool).
 	arenaStats func() cuts.PoolStats
+	// mapCacheStats reports the mapping result cache counters (nil = no
+	// cache configured).
+	mapCacheStats func() mapcache.Stats
 	// batchWait reports the current coalescer flush deadline in seconds
 	// (nil = no batching).
 	batchWait func() float64
@@ -78,6 +91,7 @@ func NewMetrics(sched *Scheduler) *Metrics {
 		bucketCounts:   make([]int64, len(latencyBuckets)+1),
 		batchBuckets:   make([]int64, len(batchSizeBuckets)+1),
 		waitBuckets:    make([]int64, len(queueWaitBuckets)+1),
+		dirtyBuckets:   make([]int64, len(dirtyFractionBuckets)+1),
 		flushesByCause: make(map[infer.FlushReason]int64),
 	}
 }
@@ -150,6 +164,19 @@ func (m *Metrics) SetArenaStatsFunc(f func() cuts.PoolStats) { m.arenaStats = f 
 // serving.
 func (m *Metrics) SetBatchWaitFunc(f func() float64) { m.batchWait = f }
 
+// SetMapCacheStatsFunc installs the callback that reports the mapping
+// result cache counters. Call before serving.
+func (m *Metrics) SetMapCacheStatsFunc(f func() mapcache.Stats) { m.mapCacheStats = f }
+
+// ObserveDirtyFraction records one ECO delta remap's dirty-cone fraction.
+func (m *Metrics) ObserveDirtyFraction(f float64) {
+	m.mu.Lock()
+	m.dirtyBuckets[sort.SearchFloat64s(dirtyFractionBuckets, f)]++
+	m.dirtySum += f
+	m.dirtyCount++
+	m.mu.Unlock()
+}
+
 // ObservePeakCuts records one mapping's peak live-cut count, keeping the
 // high-water mark across all mappings.
 func (m *Metrics) ObservePeakCuts(n int) {
@@ -198,6 +225,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		flushes[r] = c
 	}
 	peakCutsMax := m.peakCutsMax
+	dirtyBuckets := append([]int64(nil), m.dirtyBuckets...)
+	dirtySum, dirtyCount := m.dirtySum, m.dirtyCount
 	m.mu.Unlock()
 
 	sort.Slice(rows, func(i, j int) bool {
@@ -307,6 +336,50 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE slap_arena_cached gauge")
 	fmt.Fprintf(w, "slap_arena_cached %d\n", arena.Cached)
 
+	fmt.Fprintln(w, "# HELP slap_arena_evictions_total Cut arenas dropped from the pool to admit hotter graphs.")
+	fmt.Fprintln(w, "# TYPE slap_arena_evictions_total counter")
+	fmt.Fprintf(w, "slap_arena_evictions_total %d\n", arena.Evictions)
+
+	var mc mapcache.Stats
+	if m.mapCacheStats != nil {
+		mc = m.mapCacheStats()
+	}
+	fmt.Fprintln(w, "# HELP slap_mapcache_hits Mapping requests answered from the result cache (exact repeats and singleflight followers).")
+	fmt.Fprintln(w, "# TYPE slap_mapcache_hits counter")
+	fmt.Fprintf(w, "slap_mapcache_hits %d\n", mc.Hits)
+
+	fmt.Fprintln(w, "# HELP slap_mapcache_misses Mapping requests whose content address was not cached.")
+	fmt.Fprintln(w, "# TYPE slap_mapcache_misses counter")
+	fmt.Fprintf(w, "slap_mapcache_misses %d\n", mc.Misses)
+
+	fmt.Fprintln(w, "# HELP slap_mapcache_eco_hits Cache misses served by delta-remapping against a cached relative.")
+	fmt.Fprintln(w, "# TYPE slap_mapcache_eco_hits counter")
+	fmt.Fprintf(w, "slap_mapcache_eco_hits %d\n", mc.ECOHits)
+
+	fmt.Fprintln(w, "# HELP slap_mapcache_evictions Result-cache entries dropped to stay inside the byte budget.")
+	fmt.Fprintln(w, "# TYPE slap_mapcache_evictions counter")
+	fmt.Fprintf(w, "slap_mapcache_evictions %d\n", mc.Evictions)
+
+	fmt.Fprintln(w, "# HELP slap_mapcache_bytes Estimated resident size of the result cache.")
+	fmt.Fprintln(w, "# TYPE slap_mapcache_bytes gauge")
+	fmt.Fprintf(w, "slap_mapcache_bytes %d\n", mc.Bytes)
+
+	fmt.Fprintln(w, "# HELP slap_mapcache_entries Result-cache entries currently resident.")
+	fmt.Fprintln(w, "# TYPE slap_mapcache_entries gauge")
+	fmt.Fprintf(w, "slap_mapcache_entries %d\n", mc.Entries)
+
+	fmt.Fprintln(w, "# HELP slap_eco_dirty_fraction Fraction of AND nodes re-processed per ECO delta remap.")
+	fmt.Fprintln(w, "# TYPE slap_eco_dirty_fraction histogram")
+	var dcum int64
+	for i, ub := range dirtyFractionBuckets {
+		dcum += dirtyBuckets[i]
+		fmt.Fprintf(w, "slap_eco_dirty_fraction_bucket{le=\"%g\"} %d\n", ub, dcum)
+	}
+	dcum += dirtyBuckets[len(dirtyFractionBuckets)]
+	fmt.Fprintf(w, "slap_eco_dirty_fraction_bucket{le=\"+Inf\"} %d\n", dcum)
+	fmt.Fprintf(w, "slap_eco_dirty_fraction_sum %g\n", dirtySum)
+	fmt.Fprintf(w, "slap_eco_dirty_fraction_count %d\n", dirtyCount)
+
 	fmt.Fprintln(w, "# HELP slap_peak_live_cuts Largest simultaneously-live cut count any mapping reported.")
 	fmt.Fprintln(w, "# TYPE slap_peak_live_cuts gauge")
 	fmt.Fprintf(w, "slap_peak_live_cuts %d\n", peakCutsMax)
@@ -349,10 +422,21 @@ func (m *Metrics) snapshot() any {
 	if m.arenaStats != nil {
 		arena = m.arenaStats()
 	}
+	var mc mapcache.Stats
+	if m.mapCacheStats != nil {
+		mc = m.mapCacheStats()
+	}
 	return map[string]any{
 		"arena_hits":           arena.Hits,
 		"arena_misses":         arena.Misses,
 		"arena_cached":         arena.Cached,
+		"arena_evictions":      arena.Evictions,
+		"mapcache_hits":        mc.Hits,
+		"mapcache_misses":      mc.Misses,
+		"mapcache_eco_hits":    mc.ECOHits,
+		"mapcache_evictions":   mc.Evictions,
+		"mapcache_bytes":       mc.Bytes,
+		"mapcache_entries":     mc.Entries,
 		"peak_live_cuts":       peakCutsMax,
 		"requests_total":       total,
 		"requests_by_endpoint": byEndpoint,

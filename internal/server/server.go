@@ -25,6 +25,7 @@ import (
 	"slap/internal/infer"
 	"slap/internal/library"
 	"slap/internal/lutmap"
+	"slap/internal/mapcache"
 	"slap/internal/mapper"
 	"slap/internal/nn"
 )
@@ -72,6 +73,17 @@ type Config struct {
 	// design reuse cut storage instead of reallocating it
 	// (0 = cuts.DefaultPoolArenas, negative = no caching).
 	ArenaCache int
+	// ResultCacheBytes is the byte budget of the content-addressed mapping
+	// result cache: asic mappings are keyed by graph structure + names +
+	// options, so exact resubmissions are answered in O(1) and concurrent
+	// identical submissions collapse into one mapping (0 = disabled,
+	// negative = mapcache.DefaultBudget).
+	ResultCacheBytes int64
+	// ECO, with a result cache enabled, serves cache misses by
+	// delta-remapping against the nearest cached relative (by cone-hash
+	// overlap) instead of a cold full map, re-processing only the dirty
+	// cone while producing a byte-identical netlist.
+	ECO bool
 }
 
 // Server defaults.
@@ -100,6 +112,16 @@ type Server struct {
 	// sweeps, policy comparisons — reuses all cut storage from the previous
 	// run instead of reallocating it.
 	pool *cuts.Pool
+
+	// cache holds mapped results content-addressed by (graph, options), so
+	// resubmissions skip mapping entirely and — with cfg.ECO — edited
+	// designs delta-remap against their nearest cached relative. Nil when
+	// ResultCacheBytes is zero.
+	cache *mapcache.Cache
+
+	// classify collapses concurrent identical /v1/classify submissions
+	// (same graph, same model) into one classification run.
+	classify *mapcache.Flight[*core.Classification]
 
 	// coalescers holds one inference coalescer per registry model
 	// (*nn.Model -> *infer.Coalescer), created on first slap/classify use
@@ -137,10 +159,17 @@ func New(cfg Config) *Server {
 	if cfg.ArenaCache >= 0 {
 		s.pool = cuts.NewPool(cfg.ArenaCache) // 0 = DefaultPoolArenas
 	}
+	if cfg.ResultCacheBytes != 0 {
+		s.cache = mapcache.New(cfg.ResultCacheBytes) // negative = DefaultBudget
+	}
+	s.classify = mapcache.NewFlight[*core.Classification]()
 	s.metrics = NewMetrics(s.sched)
 	s.metrics.SetDegradedFunc(s.degradedReasons)
 	if s.pool != nil {
 		s.metrics.SetArenaStatsFunc(s.pool.Stats)
+	}
+	if s.cache != nil {
+		s.metrics.SetMapCacheStatsFunc(s.cache.Stats)
 	}
 	s.metrics.SetBatchWaitFunc(s.maxBatchWait)
 
@@ -275,6 +304,9 @@ type MapResponse struct {
 	QueueMS        float64 `json:"queue_ms"`
 	ElapsedMS      float64 `json:"elapsed_ms"`
 	Verified       bool    `json:"verified,omitempty"`
+	Cached         bool    `json:"cached,omitempty"`
+	ECO            bool    `json:"eco,omitempty"`
+	DirtyFraction  float64 `json:"dirty_fraction,omitempty"`
 	Netlist        string  `json:"netlist,omitempty"`
 	NetlistFormat  string  `json:"netlist_format,omitempty"`
 }
@@ -286,6 +318,7 @@ type ClassifyResponse struct {
 	Cuts      int                   `json:"cuts"`
 	Histogram []int                 `json:"histogram"`
 	Workers   int                   `json:"workers"`
+	Shared    bool                  `json:"shared,omitempty"`
 	ElapsedMS float64               `json:"elapsed_ms"`
 	Detail    []core.NodeCutClasses `json:"detail,omitempty"`
 }
@@ -668,22 +701,28 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 		resp.PeakCuts = res.PeakCuts
 		return resp, nil
 	case "asic":
-		var res *mapper.Result
+		var served *asicServed
 		var err error
-		if policy == "slap" {
-			sl := core.New(model, lib)
-			sl.Workers = workers
-			sl.Batch = s.batcherFor(model)
-			if streaming {
-				sl.Pool = s.pool
-				res, err = sl.MapStreamContext(ctx, g)
-			} else {
-				res, err = sl.MapContext(ctx, g)
-			}
-		} else if streaming {
-			res, err = mapper.MapStream(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers, Pool: s.pool})
+		if s.cache != nil {
+			served, err = s.cachedMapASIC(ctx, req, g, lib, model, workers, policy, cutPolicy, streaming)
 		} else {
-			res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers})
+			var res *mapper.Result
+			if policy == "slap" {
+				sl := core.New(model, lib)
+				sl.Workers = workers
+				sl.Batch = s.batcherFor(model)
+				if streaming {
+					sl.Pool = s.pool
+					res, err = sl.MapStreamContext(ctx, g)
+				} else {
+					res, err = sl.MapContext(ctx, g)
+				}
+			} else if streaming {
+				res, err = mapper.MapStream(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers, Pool: s.pool})
+			} else {
+				res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers})
+			}
+			served = &asicServed{res: res}
 		}
 		if err != nil {
 			return nil, err
@@ -691,6 +730,7 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		res := served.res
 		resp.Policy = res.PolicyName
 		resp.PeakCuts = res.PeakCuts
 		resp.Area = res.Area
@@ -699,9 +739,16 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 		resp.Cells = res.Netlist.NumCells()
 		resp.CutsConsidered = res.CutsConsidered
 		resp.MatchAttempts = res.MatchAttempts
+		resp.Cached = served.cached
+		resp.ECO = served.eco
+		resp.DirtyFraction = served.dirty
 		if req.Verify {
-			if err := res.Netlist.EquivalentTo(g, 8, rand.New(rand.NewSource(99))); err != nil {
-				return nil, fmt.Errorf("equivalence check failed: %w", err)
+			// Cached entries carry their verify bit; an entry cached without
+			// verification is checked here without re-mapping.
+			if !served.verified {
+				if err := res.Netlist.EquivalentTo(g, 8, rand.New(rand.NewSource(99))); err != nil {
+					return nil, fmt.Errorf("equivalence check failed: %w", err)
+				}
 			}
 			resp.Verified = true
 		}
@@ -759,8 +806,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	type outcome struct {
-		cls *core.Classification
-		err error
+		cls    *core.Classification
+		shared bool
+		err    error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
@@ -768,20 +816,26 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
 				s.metrics.AddPanic()
-				ch <- outcome{nil, fmt.Errorf("classification panicked: %v", p)}
+				ch <- outcome{nil, false, fmt.Errorf("classification panicked: %v", p)}
 			}
 		}()
 		if s.faultHook != nil {
 			s.faultHook("/v1/classify")
 		}
-		sl := core.New(model, lib)
-		sl.Workers = granted
-		sl.Batch = s.batcherFor(model)
-		cls, err := sl.ClassifyContext(ctx, g)
-		if cls != nil {
-			s.metrics.AddCuts(cls.TotalCuts)
-		}
-		ch <- outcome{cls, err}
+		// Concurrent identical submissions (same graph, same model) share one
+		// classification run; only the leader counts the cuts it processed.
+		key := mapcache.KeyOf(g, fmt.Sprintf("classify/model=%p", model))
+		cls, shared, err := s.classify.Do(key, func() (*core.Classification, error) {
+			sl := core.New(model, lib)
+			sl.Workers = granted
+			sl.Batch = s.batcherFor(model)
+			cls, err := sl.ClassifyContext(ctx, g)
+			if cls != nil {
+				s.metrics.AddCuts(cls.TotalCuts)
+			}
+			return cls, err
+		})
+		ch <- outcome{cls, shared, err}
 	}()
 
 	select {
@@ -796,6 +850,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			Cuts:      out.cls.TotalCuts,
 			Histogram: out.cls.Histogram,
 			Workers:   granted,
+			Shared:    out.shared,
 			ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
 		}
 		if req.Detail {
