@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"slap/internal/fleet"
+)
+
+func TestWorkerFlagsSet(t *testing.T) {
+	var w workerFlags
+	if err := w.Set("a=http://10.0.0.5:8351"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set("http://10.0.0.6:8351"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set("broken="); err == nil {
+		t.Error("Set(\"broken=\") succeeded, want error")
+	}
+	if len(w) != 2 {
+		t.Fatalf("collected %d workers, want 2", len(w))
+	}
+	if w[0].Name != "a" || w[0].URL != "http://10.0.0.5:8351" {
+		t.Errorf("w[0] = %+v, want {a http://10.0.0.5:8351}", w[0])
+	}
+	if w[1].Name != "" || w[1].URL != "http://10.0.0.6:8351" {
+		t.Errorf("w[1] = %+v, want { http://10.0.0.6:8351}", w[1])
+	}
+}
+
+func TestRunRejectsBadWorkerURL(t *testing.T) {
+	var workers workerFlags
+	if err := workers.Set("a=not a url"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("127.0.0.1:0", fleet.Config{Workers: workers}, 0); err == nil {
+		t.Error("run with an invalid worker URL succeeded, want startup error")
+	}
+}

@@ -21,12 +21,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -74,12 +78,32 @@ func main() {
 		arenas    = flag.Int("arena-cache", 0, "cut arenas cached across requests for same-graph reuse (0 = default, negative disables)")
 		resCache  = flag.Int64("result-cache", 256, "mapping result cache budget in MiB: exact resubmissions are answered from the cache in O(1) (0 disables)")
 		eco       = flag.Bool("eco", true, "delta-remap edited designs against the nearest cached relative, re-running only the dirty cone (needs -result-cache)")
+
+		// Fleet membership: with -coordinator and -advertise set, the worker
+		// self-registers (and re-registers as a heartbeat) so a
+		// slap-coordinator routes hash-affine traffic to it.
+		name        = flag.String("name", "", "worker name stamped on responses and used for fleet routing (default: the advertise URL's host:port)")
+		advertise   = flag.String("advertise", "", "URL under which a fleet coordinator can reach this worker (e.g. http://10.0.0.5:8351)")
+		coordinator = flag.String("coordinator", "", "coordinator base URL to self-register with (requires -advertise)")
+		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "re-registration cadence while -coordinator is set")
 	)
 	flag.Var(&models, "model", "model to preload, as name=path or path (repeatable)")
 	flag.Var(&libs, "lib", "genlib-like library to preload, as name=path or path (repeatable)")
 	flag.Parse()
 
+	if *coordinator != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "slap-serve: -coordinator requires -advertise")
+		os.Exit(2)
+	}
+	workerName := *name
+	if workerName == "" && *advertise != "" {
+		if u, err := url.Parse(*advertise); err == nil {
+			workerName = u.Host
+		}
+	}
+
 	cfg := server.Config{
+		WorkerName:        workerName,
 		WorkerBudget:      *workers,
 		QueueCap:          *queueCap,
 		DefaultTimeout:    *timeout,
@@ -94,13 +118,80 @@ func main() {
 		ResultCacheBytes:  *resCache << 20,
 		ECO:               *eco,
 	}
-	if err := run(*addr, models, libs, cfg, *drainWait); err != nil {
+	fleet := fleetConfig{name: workerName, advertise: *advertise, coordinator: *coordinator, heartbeat: *heartbeat}
+	if err := run(*addr, models, libs, cfg, fleet, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "slap-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, models, libs artifactFlags, cfg server.Config, drainWait time.Duration) error {
+// fleetConfig carries the worker's fleet-membership flags.
+type fleetConfig struct {
+	name        string
+	advertise   string
+	coordinator string
+	heartbeat   time.Duration
+}
+
+// register performs one registration round trip against the coordinator.
+func (f fleetConfig) register(ctx context.Context) error {
+	body, err := json.Marshal(map[string]string{"name": f.name, "url": f.advertise})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(f.coordinator, "/")+"/v1/workers/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return nil
+}
+
+// registerLoop keeps the worker registered with its coordinator: the
+// initial registration announces the worker, every later round doubles as
+// a liveness heartbeat (re-registering revives a worker the coordinator
+// had declared dead). Registration failures only log — the worker serves
+// direct traffic regardless.
+func (f fleetConfig) registerLoop(ctx context.Context) {
+	hb := f.heartbeat
+	if hb <= 0 {
+		hb = 5 * time.Second
+	}
+	registered := false
+	t := time.NewTicker(hb)
+	defer t.Stop()
+	for {
+		if err := f.register(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			log.Printf("fleet registration with %s failed (will retry): %v", f.coordinator, err)
+			registered = false
+		} else if !registered {
+			log.Printf("registered with coordinator %s as %q (%s)", f.coordinator, f.name, f.advertise)
+			registered = true
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func run(addr string, models, libs artifactFlags, cfg server.Config, fleet fleetConfig, drainWait time.Duration) error {
 	reg := server.NewRegistry()
 	for _, m := range models {
 		if err := reg.AddModelFile(m.name, m.path); err != nil {
@@ -125,6 +216,10 @@ func run(addr string, models, libs artifactFlags, cfg server.Config, drainWait t
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if fleet.coordinator != "" {
+		go fleet.registerLoop(ctx)
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

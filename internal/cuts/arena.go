@@ -243,6 +243,11 @@ type PoolStats struct {
 	Misses int64
 	// Cached is the number of arenas currently parked in the pool.
 	Cached int
+	// Graphs is the number of distinct graph identities with at least one
+	// parked arena — the pool's warmth: how many designs this process can
+	// re-map with zero steady-state cut allocations right now. Fleet
+	// coordinators read it off /healthz to judge routing quality.
+	Graphs int
 	// Evictions counts arenas dropped because the pool exceeded its cap.
 	Evictions int64
 }
@@ -342,5 +347,13 @@ func (p *Pool) evictOldestLocked() {
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Hits: p.hits, Misses: p.misses, Cached: p.cached, Evictions: p.evictions}
+	// Emptied slices linger in the map so a checked-out arena's Put can
+	// append without reallocating; count only keys that are warm right now.
+	graphs := 0
+	for _, l := range p.arenas {
+		if len(l) > 0 {
+			graphs++
+		}
+	}
+	return PoolStats{Hits: p.hits, Misses: p.misses, Cached: p.cached, Graphs: graphs, Evictions: p.evictions}
 }

@@ -1,0 +1,356 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slap/internal/circuits"
+	"slap/internal/server"
+)
+
+// rc16AAG renders the 16-bit ripple-carry adder as AIGER text — the test
+// design whose structural hash drives affinity routing.
+func rc16AAG(t *testing.T) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := circuits.TrainRC16().WriteAAG(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// newWorker boots one real mapping worker named name.
+func newWorker(t *testing.T, name string) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s := server.New(server.Config{WorkerName: name, ResultCacheBytes: 16 << 20})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// newCoordinator boots a coordinator over the given fleet config with a
+// fast probe cadence.
+func newCoordinator(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 25 * time.Millisecond
+	}
+	if cfg.DeadAfter == 0 {
+		cfg.DeadAfter = 2
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		c.Close()
+	})
+	return c, ts
+}
+
+func postCircuit(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestProxyAffinityCacheAndFailover is the fleet acceptance path: the same
+// design routes to the same worker (whose result cache then answers the
+// resubmission), and killing that worker fails the next resubmission over
+// to the surviving replica.
+func TestProxyAffinityCacheAndFailover(t *testing.T) {
+	_, w1 := newWorker(t, "w1")
+	_, w2 := newWorker(t, "w2")
+	c, ts := newCoordinator(t, Config{
+		Workers: []StaticWorker{{Name: "w1", URL: w1.URL}, {Name: "w2", URL: w2.URL}},
+	})
+	aag := rc16AAG(t)
+
+	var first server.MapResponse
+	resp, data := postCircuit(t, ts.URL+"/v1/map?policy=default", aag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first map: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Worker != "w1" && first.Worker != "w2" {
+		t.Fatalf("first map served by %q, want a fleet worker", first.Worker)
+	}
+	if got := resp.Header.Get("X-Slap-Worker"); got != first.Worker {
+		t.Errorf("X-Slap-Worker header %q disagrees with response body worker %q", got, first.Worker)
+	}
+	if first.Cached {
+		t.Error("first map reported cached:true on a cold fleet")
+	}
+
+	// Hash affinity: the resubmission must land on the same worker and be
+	// answered from its result cache.
+	var second server.MapResponse
+	resp, data = postCircuit(t, ts.URL+"/v1/map?policy=default", aag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Worker != first.Worker {
+		t.Errorf("resubmission routed to %q, first request to %q: affinity broken", second.Worker, first.Worker)
+	}
+	if !second.Cached {
+		t.Error("resubmission on the affine worker was not served from its result cache")
+	}
+	if second.Area != first.Area || second.Delay != first.Delay {
+		t.Errorf("cached mapping differs: area %v/%v delay %v/%v", second.Area, first.Area, second.Delay, first.Delay)
+	}
+
+	// Kill the affine worker; the same design must drain to the survivor.
+	if first.Worker == "w1" {
+		w1.Close()
+	} else {
+		w2.Close()
+	}
+	var third server.MapResponse
+	resp, data = postCircuit(t, ts.URL+"/v1/map?policy=default", aag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill map: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Worker == first.Worker {
+		t.Errorf("post-kill request still reports dead worker %q", third.Worker)
+	}
+	if third.Area != first.Area || third.Delay != first.Delay {
+		t.Errorf("failover mapping differs: area %v/%v delay %v/%v", third.Area, first.Area, third.Delay, first.Delay)
+	}
+	if got := c.Metrics().Retries(); got < 1 {
+		t.Errorf("slap_fleet_retries_total = %d after failover, want >= 1", got)
+	}
+}
+
+// stubWorker is a minimal fake worker: healthy /healthz, scripted /v1/map.
+func stubWorker(t *testing.T, name string, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"status":"ok","worker":%q}`, name)
+	})
+	mux.HandleFunc("POST /v1/map", handler)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestShedWhenSaturated pins the in-flight cap: with every live worker at
+// its cap the fleet answers 503 instead of queueing, and the shed counter
+// moves.
+func TestShedWhenSaturated(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	block := make(chan struct{})
+	stub := stubWorker(t, "stub", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-block
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"worker":"stub"}`)
+	})
+	defer close(block)
+	c, ts := newCoordinator(t, Config{
+		Workers:           []StaticWorker{{Name: "stub", URL: stub.URL}},
+		InflightPerWorker: 1,
+		MaxAttempts:       2,
+		BackoffBase:       time.Millisecond,
+		BackoffMax:        2 * time.Millisecond,
+	})
+	aag := rc16AAG(t)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postCircuit(t, ts.URL+"/v1/map", aag)
+	}()
+	<-entered // the only slot is now held
+
+	resp, data := postCircuit(t, ts.URL+"/v1/map", aag)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated fleet answered %d (%s), want 503", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte("saturated")) {
+		t.Errorf("shed error %q does not mention saturation", data)
+	}
+	c.metrics.mu.Lock()
+	shed := c.metrics.shedTotal
+	c.metrics.mu.Unlock()
+	if shed < 1 {
+		t.Errorf("slap_fleet_shed_total = %d, want >= 1", shed)
+	}
+	block <- struct{}{} // release the parked request
+	<-done
+}
+
+// TestRegistrationLifecycle drives the control plane: a worker joins via
+// POST /v1/workers/register, receives traffic, then leaves via DELETE.
+func TestRegistrationLifecycle(t *testing.T) {
+	var served atomic.Int64
+	stub := stubWorker(t, "joiner", func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"worker":"joiner"}`)
+	})
+	_, ts := newCoordinator(t, Config{})
+	aag := rc16AAG(t)
+
+	// Empty fleet: degraded health, requests shed.
+	resp, data := postCircuit(t, ts.URL+"/v1/map", aag)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty fleet answered %d (%s), want 503", resp.StatusCode, data)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdata, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if !bytes.Contains(hdata, []byte(`"degraded"`)) || !bytes.Contains(hdata, []byte("no workers registered")) {
+		t.Errorf("empty-fleet healthz = %s, want degraded with no-workers reason", hdata)
+	}
+
+	// Join.
+	body, _ := json.Marshal(RegisterRequest{Name: "joiner", URL: stub.URL})
+	resp, err = http.Post(ts.URL+"/v1/workers/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register answered %d", resp.StatusCode)
+	}
+	resp, data = postCircuit(t, ts.URL+"/v1/map", aag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-join map answered %d (%s)", resp.StatusCode, data)
+	}
+	if served.Load() == 0 {
+		t.Error("registered worker never saw the proxied request")
+	}
+
+	// Re-registering the same name is a heartbeat, not a new member.
+	resp, err = http.Post(ts.URL+"/v1/workers/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		Joined  bool `json:"joined"`
+		Workers int  `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if reg.Joined || reg.Workers != 1 {
+		t.Errorf("re-register: joined=%v workers=%d, want heartbeat (false, 1)", reg.Joined, reg.Workers)
+	}
+
+	// Leave.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workers/joiner", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deregister answered %d", resp.StatusCode)
+	}
+	resp, data = postCircuit(t, ts.URL+"/v1/map", aag)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-leave map answered %d (%s), want 503", resp.StatusCode, data)
+	}
+}
+
+// TestProbeMarksDeadAndMetrics kills a worker and waits for the probe
+// state machine to declare it dead, then checks /healthz and /metrics
+// surface the transition.
+func TestProbeMarksDeadAndMetrics(t *testing.T) {
+	stub := stubWorker(t, "mortal", func(w http.ResponseWriter, r *http.Request) {})
+	_, ts := newCoordinator(t, Config{
+		Workers:       []StaticWorker{{Name: "mortal", URL: stub.URL}},
+		ProbeInterval: 10 * time.Millisecond,
+		DeadAfter:     2,
+	})
+	stub.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if bytes.Contains(data, []byte(`"state": "dead"`)) || bytes.Contains(data, []byte(`"state":"dead"`)) {
+			if !bytes.Contains(data, []byte(`"degraded"`)) {
+				t.Errorf("healthz with a dead worker = %s, want degraded status", data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never declared dead; healthz = %s", data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`slap_fleet_workers{state="dead"} 1`,
+		`slap_fleet_workers{state="up"} 0`,
+		"slap_fleet_retries_total",
+		"slap_fleet_shed_total",
+		"slap_fleet_worker_deaths_total 1",
+	} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("metrics missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestRouteKeyRejectsGarbage checks malformed circuits fail fast at the
+// coordinator, before touching any worker.
+func TestRouteKeyRejectsGarbage(t *testing.T) {
+	stub := stubWorker(t, "never", func(w http.ResponseWriter, r *http.Request) {
+		t.Error("malformed request reached a worker")
+	})
+	_, ts := newCoordinator(t, Config{Workers: []StaticWorker{{Name: "never", URL: stub.URL}}})
+	resp, _ := postCircuit(t, ts.URL+"/v1/map", "this is not a circuit")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage circuit answered %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postCircuit(t, ts.URL+"/v1/map", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body answered %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,246 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerState is the coordinator's view of one worker's health.
+type WorkerState int
+
+// The worker health state machine:
+//
+//	up ──(probe sees "degraded")──▶ degraded ──(probe sees "ok")──▶ up
+//	up/degraded ──(DeadAfter consecutive probe or proxy failures)──▶ dead
+//	dead ──(any successful probe or proxied request)──▶ up/degraded
+//
+// Degraded workers keep receiving traffic (the worker itself is still
+// answering 200, matching /healthz's degraded-is-not-down convention);
+// dead workers are skipped by routing until they prove themselves again.
+const (
+	StateUp WorkerState = iota
+	StateDegraded
+	StateDead
+)
+
+// String names the state for metrics labels and health reports.
+func (s WorkerState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDegraded:
+		return "degraded"
+	case StateDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// worker is one fleet member's routing record: identity, liveness and the
+// warmth its last probe reported.
+type worker struct {
+	name   string
+	url    string
+	static bool // configured at startup; self-registered otherwise
+
+	// inflight is the worker's current proxied-request count, capped by
+	// Config.InflightPerWorker. Atomic: bumped on the request path without
+	// taking the coordinator lock.
+	inflight atomic.Int64
+
+	// Guarded by the coordinator's mu.
+	state       WorkerState
+	consecFails int
+	lastErr     string
+	lastProbe   time.Time
+	registered  time.Time
+	// Warmth, from the worker's /healthz: how many designs have a parked
+	// cut arena and how many mapped results (and ECO snapshots) are
+	// cached. Routing-quality observability, exported per worker.
+	warmGraphs     int
+	cacheEntries   int
+	cacheSnapshots int
+}
+
+// WorkerStatus is the JSON view of one worker in coordinator health
+// reports.
+type WorkerStatus struct {
+	Name           string  `json:"name"`
+	URL            string  `json:"url"`
+	State          string  `json:"state"`
+	Static         bool    `json:"static,omitempty"`
+	ConsecFails    int     `json:"consec_fails,omitempty"`
+	LastErr        string  `json:"last_err,omitempty"`
+	LastProbeAgoS  float64 `json:"last_probe_ago_s,omitempty"`
+	Inflight       int64   `json:"inflight"`
+	WarmGraphs     int     `json:"warm_graphs"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheSnapshots int     `json:"cache_snapshots,omitempty"`
+}
+
+// workerHealthz is the slice of a worker's /healthz body the coordinator
+// consumes: overall status plus cache warmth.
+type workerHealthz struct {
+	Status            string `json:"status"`
+	ArenaGraphs       int    `json:"arena_graphs"`
+	MapcacheEntries   int    `json:"mapcache_entries"`
+	MapcacheSnapshots int    `json:"mapcache_snapshots"`
+}
+
+// probeLoop polls every worker's /healthz on a fixed cadence until the
+// coordinator closes.
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll probes every known worker once, concurrently.
+func (c *Coordinator) probeAll() {
+	c.mu.Lock()
+	targets := make([]*worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		targets = append(targets, w)
+	}
+	c.mu.Unlock()
+	done := make(chan struct{}, len(targets))
+	for _, w := range targets {
+		go func(w *worker) {
+			defer func() { done <- struct{}{} }()
+			c.probe(w)
+		}(w)
+	}
+	for range targets {
+		<-done
+	}
+}
+
+// probe performs one /healthz round trip and feeds the state machine.
+func (c *Coordinator) probe(w *worker) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		c.recordProbe(w, nil, err)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.recordProbe(w, nil, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.recordProbe(w, nil, fmt.Errorf("healthz answered %d", resp.StatusCode))
+		return
+	}
+	var h workerHealthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		c.recordProbe(w, nil, fmt.Errorf("decoding healthz: %w", err))
+		return
+	}
+	c.recordProbe(w, &h, nil)
+}
+
+// recordProbe applies one probe outcome to the worker's state machine.
+func (c *Coordinator) recordProbe(w *worker, h *workerHealthz, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.lastProbe = time.Now()
+	if err != nil {
+		w.consecFails++
+		w.lastErr = err.Error()
+		if w.consecFails >= c.cfg.DeadAfter && w.state != StateDead {
+			w.state = StateDead
+			c.metrics.workerDied()
+		}
+		return
+	}
+	w.consecFails = 0
+	w.lastErr = ""
+	if h.Status == "degraded" {
+		w.state = StateDegraded
+	} else {
+		w.state = StateUp
+	}
+	w.warmGraphs = h.ArenaGraphs
+	w.cacheEntries = h.MapcacheEntries
+	w.cacheSnapshots = h.MapcacheSnapshots
+}
+
+// reportProxyFailure counts a failed proxied request as a health strike:
+// transport errors reveal a dead worker faster than the probe cadence.
+func (c *Coordinator) reportProxyFailure(w *worker, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.consecFails++
+	w.lastErr = err.Error()
+	if w.consecFails >= c.cfg.DeadAfter && w.state != StateDead {
+		w.state = StateDead
+		c.metrics.workerDied()
+	}
+}
+
+// reportProxySuccess clears strikes: a worker that just answered a real
+// request is alive no matter what an earlier probe concluded. (A dead
+// worker revived this way reports up until the next probe refines it.)
+func (c *Coordinator) reportProxySuccess(w *worker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.consecFails = 0
+	w.lastErr = ""
+	if w.state == StateDead {
+		w.state = StateUp
+	}
+}
+
+// workerStates snapshots per-state worker counts for metrics.
+func (c *Coordinator) workerStates() map[WorkerState]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[WorkerState]int, 3)
+	for _, w := range c.workers {
+		out[w.state]++
+	}
+	return out
+}
+
+// workerStatuses snapshots every worker for the health report, sorted by
+// name at the caller.
+func (c *Coordinator) workerStatuses() []WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws := WorkerStatus{
+			Name:           w.name,
+			URL:            w.url,
+			State:          w.state.String(),
+			Static:         w.static,
+			ConsecFails:    w.consecFails,
+			LastErr:        w.lastErr,
+			Inflight:       w.inflight.Load(),
+			WarmGraphs:     w.warmGraphs,
+			CacheEntries:   w.cacheEntries,
+			CacheSnapshots: w.cacheSnapshots,
+		}
+		if !w.lastProbe.IsZero() {
+			ws.LastProbeAgoS = time.Since(w.lastProbe).Seconds()
+		}
+		out = append(out, ws)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics aggregates coordinator observability: per-state worker gauges,
+// retry/shed counters, per-worker routed-request counters, warmth gauges
+// and dataset-shard outcomes, rendered as Prometheus text on GET /metrics.
+type Metrics struct {
+	start time.Time
+
+	mu             sync.Mutex
+	retriesTotal   int64
+	shedTotal      int64
+	deathsTotal    int64
+	routedByWorker map[string]int64
+	shardsByResult map[string]int64
+
+	// statesFunc and statusesFunc snapshot live worker state at scrape
+	// time; installed once at coordinator assembly.
+	statesFunc   func() map[WorkerState]int
+	statusesFunc func() []WorkerStatus
+}
+
+// NewMetrics returns an empty fleet metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:          time.Now(),
+		routedByWorker: make(map[string]int64),
+		shardsByResult: make(map[string]int64),
+	}
+}
+
+// AddRetry counts one rerouted request or re-shipped dataset shard.
+func (m *Metrics) AddRetry() {
+	m.mu.Lock()
+	m.retriesTotal++
+	m.mu.Unlock()
+}
+
+// AddShed counts one request answered 503 because every live worker was
+// at its in-flight cap (or none was live).
+func (m *Metrics) AddShed() {
+	m.mu.Lock()
+	m.shedTotal++
+	m.mu.Unlock()
+}
+
+// AddRouted counts one request successfully relayed to worker.
+func (m *Metrics) AddRouted(workerName string) {
+	m.mu.Lock()
+	m.routedByWorker[workerName]++
+	m.mu.Unlock()
+}
+
+// AddShard counts one dataset shard outcome ("done" or "failed").
+func (m *Metrics) AddShard(result string) {
+	m.mu.Lock()
+	m.shardsByResult[result]++
+	m.mu.Unlock()
+}
+
+// workerDied counts one up/degraded→dead transition. Called with the
+// coordinator lock held, so it only touches its own mutex.
+func (m *Metrics) workerDied() {
+	m.mu.Lock()
+	m.deathsTotal++
+	m.mu.Unlock()
+}
+
+// Retries returns the fleet-level retry count (tests, health report).
+func (m *Metrics) Retries() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retriesTotal
+}
+
+// WritePrometheus renders the Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	retries, shed, deaths := m.retriesTotal, m.shedTotal, m.deathsTotal
+	routed := make(map[string]int64, len(m.routedByWorker))
+	for k, v := range m.routedByWorker {
+		routed[k] = v
+	}
+	shards := make(map[string]int64, len(m.shardsByResult))
+	for k, v := range m.shardsByResult {
+		shards[k] = v
+	}
+	m.mu.Unlock()
+
+	states := map[WorkerState]int{}
+	if m.statesFunc != nil {
+		states = m.statesFunc()
+	}
+	fmt.Fprintln(w, "# HELP slap_fleet_workers Fleet workers by health state.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_workers gauge")
+	for _, st := range []WorkerState{StateUp, StateDegraded, StateDead} {
+		fmt.Fprintf(w, "slap_fleet_workers{state=%q} %d\n", st.String(), states[st])
+	}
+
+	fmt.Fprintln(w, "# HELP slap_fleet_retries_total Requests and dataset shards rerouted to another worker after a failure.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_retries_total counter")
+	fmt.Fprintf(w, "slap_fleet_retries_total %d\n", retries)
+
+	fmt.Fprintln(w, "# HELP slap_fleet_shed_total Requests answered 503 because the whole fleet was saturated or dead.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_shed_total counter")
+	fmt.Fprintf(w, "slap_fleet_shed_total %d\n", shed)
+
+	fmt.Fprintln(w, "# HELP slap_fleet_worker_deaths_total Workers declared dead after consecutive failures.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_worker_deaths_total counter")
+	fmt.Fprintf(w, "slap_fleet_worker_deaths_total %d\n", deaths)
+
+	fmt.Fprintln(w, "# HELP slap_fleet_routed_requests_total Requests relayed to each worker.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_routed_requests_total counter")
+	for _, name := range sortedKeys(routed) {
+		fmt.Fprintf(w, "slap_fleet_routed_requests_total{worker=%q} %d\n", name, routed[name])
+	}
+
+	fmt.Fprintln(w, "# HELP slap_fleet_shards_total Dataset shards by final outcome across fleet sweeps.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_shards_total counter")
+	for _, res := range sortedKeys(shards) {
+		fmt.Fprintf(w, "slap_fleet_shards_total{result=%q} %d\n", res, shards[res])
+	}
+
+	// Per-worker routing-quality gauges: cache warmth as of the last
+	// successful probe, plus current in-flight load.
+	if m.statusesFunc != nil {
+		sts := m.statusesFunc()
+		sort.Slice(sts, func(i, j int) bool { return sts[i].Name < sts[j].Name })
+		fmt.Fprintln(w, "# HELP slap_fleet_worker_inflight Proxied requests currently in flight per worker.")
+		fmt.Fprintln(w, "# TYPE slap_fleet_worker_inflight gauge")
+		for _, s := range sts {
+			fmt.Fprintf(w, "slap_fleet_worker_inflight{worker=%q} %d\n", s.Name, s.Inflight)
+		}
+		fmt.Fprintln(w, "# HELP slap_fleet_worker_warm_graphs Designs with a parked cut arena on each worker (last probe).")
+		fmt.Fprintln(w, "# TYPE slap_fleet_worker_warm_graphs gauge")
+		for _, s := range sts {
+			fmt.Fprintf(w, "slap_fleet_worker_warm_graphs{worker=%q} %d\n", s.Name, s.WarmGraphs)
+		}
+		fmt.Fprintln(w, "# HELP slap_fleet_worker_cache_entries Mapping results resident in each worker's result cache (last probe).")
+		fmt.Fprintln(w, "# TYPE slap_fleet_worker_cache_entries gauge")
+		for _, s := range sts {
+			fmt.Fprintf(w, "slap_fleet_worker_cache_entries{worker=%q} %d\n", s.Name, s.CacheEntries)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP slap_fleet_uptime_seconds Seconds since the coordinator started.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_uptime_seconds gauge")
+	fmt.Fprintf(w, "slap_fleet_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingDeterministicAcrossRestarts pins the property warm-cache routing
+// depends on: a ring built from the same membership — in any registration
+// order, in a fresh process — routes every key identically.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	members := []string{"w3", "w1", "w4", "w2"}
+	shuffled := []string{"w2", "w4", "w1", "w3"}
+	a := NewRing(members, 0)
+	b := NewRing(shuffled, 0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		key := rng.Uint64()
+		if got, want := a.Owner(key), b.Owner(key); got != want {
+			t.Fatalf("key %#x: owner %q on ring A, %q on ring B (registration order changed routing)", key, got, want)
+		}
+	}
+}
+
+// TestRingLookupDistinctFailoverOrder checks Lookup returns every member
+// exactly once, primary first.
+func TestRingLookupDistinctFailoverOrder(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(members, 0)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		key := rng.Uint64()
+		order := r.Lookup(key, 0)
+		if len(order) != len(members) {
+			t.Fatalf("Lookup returned %d members, want %d", len(order), len(members))
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("member %q appears twice in failover order %v", m, order)
+			}
+			seen[m] = true
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("Lookup[0] = %q, Owner = %q", order[0], r.Owner(key))
+		}
+	}
+}
+
+// TestRingKeyMovementOnJoinAndLeave pins the consistent-hashing contract:
+// adding or removing one worker moves at most ~2/N of the keyspace, not
+// the near-total reshuffle a modulo scheme would cause.
+func TestRingKeyMovementOnJoinAndLeave(t *testing.T) {
+	const keys = 10000
+	base := []string{"w0", "w1", "w2", "w3"}
+	before := NewRing(base, 0)
+
+	t.Run("join", func(t *testing.T) {
+		after := NewRing(append(append([]string(nil), base...), "w4"), 0)
+		moved := 0
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < keys; i++ {
+			key := rng.Uint64()
+			if before.Owner(key) != after.Owner(key) {
+				moved++
+			}
+		}
+		// Expected movement is 1/(N+1) = 20%; allow 2/(N+1) slack.
+		if limit := 2 * keys / (len(base) + 1); moved > limit {
+			t.Errorf("join moved %d/%d keys, want <= %d (~2/N)", moved, keys, limit)
+		}
+		if moved == 0 {
+			t.Error("join moved no keys: the new worker owns nothing")
+		}
+	})
+
+	t.Run("leave", func(t *testing.T) {
+		after := NewRing(base[:len(base)-1], 0)
+		moved := 0
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < keys; i++ {
+			key := rng.Uint64()
+			if before.Owner(key) != after.Owner(key) {
+				moved++
+			}
+		}
+		// Only keys owned by the departed worker may move: 1/N = 25%
+		// expected, 2/N allowed.
+		if limit := 2 * keys / len(base); moved > limit {
+			t.Errorf("leave moved %d/%d keys, want <= %d (~2/N)", moved, keys, limit)
+		}
+	})
+}
+
+// TestRingBalance sanity-checks the vnode split: with 64 vnodes per
+// worker no member should own a wildly disproportionate keyspace share.
+func TestRingBalance(t *testing.T) {
+	members := make([]string, 8)
+	for i := range members {
+		members[i] = fmt.Sprintf("worker-%d", i)
+	}
+	r := NewRing(members, 0)
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(5))
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(rng.Uint64())]++
+	}
+	mean := keys / len(members)
+	for m, n := range counts {
+		if n < mean/3 || n > mean*3 {
+			t.Errorf("member %s owns %d/%d keys (mean %d): vnode split too uneven", m, n, keys, mean)
+		}
+	}
+}
+
+// TestRingFailoverSkipsToNextReplica checks the replica order is what the
+// routing loop walks: for any key, removing the primary from membership
+// makes the old second replica the new primary.
+func TestRingFailoverSkipsToNextReplica(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := NewRing(members, 0)
+	rng := rand.New(rand.NewSource(6))
+	agree := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		order := r.Lookup(key, 2)
+		var rest []string
+		for _, m := range members {
+			if m != order[0] {
+				rest = append(rest, m)
+			}
+		}
+		if NewRing(rest, 0).Owner(key) == order[1] {
+			agree++
+		}
+	}
+	// The second replica is exactly where the key lands when the primary
+	// leaves (the points of the remaining members are unchanged).
+	if agree != keys {
+		t.Errorf("second replica matched post-departure owner for %d/%d keys, want all", agree, keys)
+	}
+}
+
+// TestEmptyRing checks the degenerate cases stay nil-safe.
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Lookup(42, 0); got != nil {
+		t.Errorf("empty ring Lookup = %v, want nil", got)
+	}
+	if got := r.Owner(42); got != "" {
+		t.Errorf("empty ring Owner = %q, want empty", got)
+	}
+}

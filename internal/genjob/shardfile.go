@@ -49,33 +49,43 @@ func encodeShard(p *shardPayload) ([]byte, string, error) {
 	return buf.Bytes(), hex.EncodeToString(sum[:]), nil
 }
 
+// frameShard prepends the self-verifying header to an encoded payload,
+// producing the exact byte sequence a shard file holds. The same frame
+// travels over the network in fleet mode, so a remotely executed shard is
+// verifiable (and persistable) with the same code path as a local one.
+func frameShard(shard int, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	buf.Grow(shardHeaderSize + len(payload))
+	buf.WriteString(shardMagic)
+	binary.Write(&buf, binary.BigEndian, uint32(shard))
+	binary.Write(&buf, binary.BigEndian, uint64(len(payload)))
+	buf.Write(sum[:])
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
 // writeShardFile persists an encoded shard payload. The write is atomic
 // (temp file + rename) so a crash mid-write leaves a stray .tmp file,
 // never a plausible-looking half shard. truncateAt > 0 is the
 // fault-injection path: it writes only that many payload bytes directly
 // to the final path, simulating a kill mid-write or a torn copy.
 func writeShardFile(path string, shard int, payload []byte, truncateAt int) error {
-	sum := sha256.Sum256(payload)
-	var hdr bytes.Buffer
-	hdr.WriteString(shardMagic)
-	binary.Write(&hdr, binary.BigEndian, uint32(shard))
-	binary.Write(&hdr, binary.BigEndian, uint64(len(payload)))
-	hdr.Write(sum[:])
-
+	framed := frameShard(shard, payload)
 	if truncateAt > 0 && truncateAt < len(payload) {
-		return os.WriteFile(path, append(hdr.Bytes(), payload[:truncateAt]...), 0o644)
+		return os.WriteFile(path, framed[:shardHeaderSize+truncateAt], 0o644)
 	}
+	return writeFramedShard(path, framed)
+}
 
+// writeFramedShard atomically persists already-framed shard bytes.
+func writeFramedShard(path string, framed []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(hdr.Bytes()); err != nil {
-		tmp.Close()
-		return err
-	}
-	if _, err := tmp.Write(payload); err != nil {
+	if _, err := tmp.Write(framed); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -89,20 +99,16 @@ func writeShardFile(path string, shard int, payload []byte, truncateAt int) erro
 	return os.Rename(tmp.Name(), path)
 }
 
-// readShardFile loads and fully verifies one shard file: magic, shard id,
+// parseShardBytes verifies and decodes framed shard bytes: magic, shard id,
 // length, payload checksum, gob decode, and spec/fingerprint agreement.
 // Any mismatch is an error — a shard that fails here is re-run, never
-// merged.
-func readShardFile(path string, want Spec, fingerprint string) (*shardPayload, string, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, "", err
-	}
+// merged. name labels error messages (a file path or a remote worker).
+func parseShardBytes(b []byte, name string, want Spec, fingerprint string) (*shardPayload, string, error) {
 	if len(b) < shardHeaderSize {
-		return nil, "", fmt.Errorf("genjob: %s: truncated header (%d bytes)", path, len(b))
+		return nil, "", fmt.Errorf("genjob: %s: truncated header (%d bytes)", name, len(b))
 	}
 	if string(b[:len(shardMagic)]) != shardMagic {
-		return nil, "", fmt.Errorf("genjob: %s: bad magic", path)
+		return nil, "", fmt.Errorf("genjob: %s: bad magic", name)
 	}
 	off := len(shardMagic)
 	gotShard := binary.BigEndian.Uint32(b[off:])
@@ -112,34 +118,43 @@ func readShardFile(path string, want Spec, fingerprint string) (*shardPayload, s
 	wantSum := b[off : off+sha256.Size]
 	off += sha256.Size
 	if gotShard != uint32(want.Shard) {
-		return nil, "", fmt.Errorf("genjob: %s: holds shard %d, want %d", path, gotShard, want.Shard)
+		return nil, "", fmt.Errorf("genjob: %s: holds shard %d, want %d", name, gotShard, want.Shard)
 	}
 	if plen > maxShardPayload {
-		return nil, "", fmt.Errorf("genjob: %s: absurd payload length %d", path, plen)
+		return nil, "", fmt.Errorf("genjob: %s: absurd payload length %d", name, plen)
 	}
 	payload := b[off:]
 	if uint64(len(payload)) != plen {
 		return nil, "", fmt.Errorf("genjob: %s: payload is %d bytes, header says %d (truncated or padded)",
-			path, len(payload), plen)
+			name, len(payload), plen)
 	}
 	sum := sha256.Sum256(payload)
 	if !bytes.Equal(sum[:], wantSum) {
-		return nil, "", fmt.Errorf("genjob: %s: payload checksum mismatch", path)
+		return nil, "", fmt.Errorf("genjob: %s: payload checksum mismatch", name)
 	}
 	var p shardPayload
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
-		return nil, "", fmt.Errorf("genjob: %s: decoding payload: %w", path, err)
+		return nil, "", fmt.Errorf("genjob: %s: decoding payload: %w", name, err)
 	}
 	if p.Spec != want {
-		return nil, "", fmt.Errorf("genjob: %s: spec %+v, want %+v", path, p.Spec, want)
+		return nil, "", fmt.Errorf("genjob: %s: spec %+v, want %+v", name, p.Spec, want)
 	}
 	if p.Fingerprint != fingerprint {
-		return nil, "", fmt.Errorf("genjob: %s: config fingerprint mismatch (different job?)", path)
+		return nil, "", fmt.Errorf("genjob: %s: config fingerprint mismatch (different job?)", name)
 	}
 	if n := len(p.Outcomes); n != want.End-want.Start {
-		return nil, "", fmt.Errorf("genjob: %s: %d outcomes, want %d", path, n, want.End-want.Start)
+		return nil, "", fmt.Errorf("genjob: %s: %d outcomes, want %d", name, n, want.End-want.Start)
 	}
 	return &p, hex.EncodeToString(sum[:]), nil
+}
+
+// readShardFile loads and fully verifies one shard file.
+func readShardFile(path string, want Spec, fingerprint string) (*shardPayload, string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return parseShardBytes(b, path, want, fingerprint)
 }
 
 // ---------------------------------------------------------------------------

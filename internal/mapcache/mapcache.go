@@ -119,6 +119,11 @@ type Stats struct {
 	Bytes int64
 	// Entries is the current entry count.
 	Entries int
+	// Snapshots is the number of resident entries carrying an ECO baseline
+	// snapshot — the cache's delta-remap warmth, exported so fleet
+	// coordinators can judge how much affinity-routed traffic a worker can
+	// answer without a cold map.
+	Snapshots int
 }
 
 // DefaultBudget is the cache byte budget when none is configured.
@@ -142,6 +147,7 @@ type Cache struct {
 	byKey  map[Key]*list.Element
 
 	hits, misses, ecoHits, evictions int64
+	snapshots                        int
 
 	flight map[Key]*flightCall
 }
@@ -208,13 +214,18 @@ func (c *Cache) Add(e *Entry) {
 	if el, ok := c.byKey[e.Key]; ok {
 		old := el.Value.(*Entry)
 		c.bytes -= old.bytes
+		if old.Snap != nil {
+			c.snapshots--
+		}
 		c.ll.Remove(el)
 		delete(c.byKey, e.Key)
-		_ = old
 	}
 	e.elem = c.ll.PushFront(e)
 	c.byKey[e.Key] = e.elem
 	c.bytes += e.bytes
+	if e.Snap != nil {
+		c.snapshots++
+	}
 	for c.bytes > c.budget && c.ll.Len() > 1 {
 		c.evictOldestLocked()
 	}
@@ -229,6 +240,9 @@ func (c *Cache) evictOldestLocked() {
 	c.ll.Remove(el)
 	delete(c.byKey, old.Key)
 	c.bytes -= old.bytes
+	if old.Snap != nil {
+		c.snapshots--
+	}
 	c.evictions++
 }
 
@@ -279,6 +293,7 @@ func (c *Cache) Stats() Stats {
 		Evictions: c.evictions,
 		Bytes:     c.bytes,
 		Entries:   c.ll.Len(),
+		Snapshots: c.snapshots,
 	}
 }
 

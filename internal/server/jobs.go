@@ -14,7 +14,6 @@ import (
 
 	"slap/internal/aig"
 	"slap/internal/circuits"
-	"slap/internal/dataset"
 	"slap/internal/genjob"
 )
 
@@ -202,36 +201,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("maps_per_circuit must be positive"))
 		return
 	}
-	names := req.Circuits
-	if len(names) == 0 {
-		names = []string{"rc16", "cla16"}
-	}
-	var graphs []*aig.AIG
-	for _, n := range names {
-		g, err := builtinCircuit(n)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		graphs = append(graphs, g)
-	}
-	var metric dataset.Metric
-	switch req.Metric {
-	case "", "delay":
-		metric = dataset.MetricDelay
-	case "area":
-		metric = dataset.MetricArea
-	case "adp":
-		metric = dataset.MetricADP
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown metric %q (want delay, area or adp)", req.Metric))
-		return
-	}
-	lib, err := s.reg.Library("")
+	dcfg, err := s.datasetSweepConfig(req.Circuits, req.MapsPerCircuit, req.Classes, req.Seed, req.ShuffleLimit, req.Metric, req.MaxMapFailures)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	dcfg.Workers = 0 // local shard pool decides (genjob defaults it to 1)
 
 	id := fmt.Sprintf("job-%04d", s.jobsSeq.Add(1))
 	outDir := filepath.Join(s.cfg.JobsDir, id)
@@ -252,16 +227,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs.Store(id, job)
 
 	gcfg := genjob.Config{
-		Dataset: dataset.Config{
-			Circuits:       graphs,
-			Library:        lib,
-			MapsPerCircuit: req.MapsPerCircuit,
-			Classes:        req.Classes,
-			Seed:           req.Seed,
-			ShuffleLimit:   req.ShuffleLimit,
-			Metric:         metric,
-			MaxFailures:    req.MaxMapFailures,
-		},
+		Dataset:       dcfg,
 		OutDir:        outDir,
 		Shards:        req.Shards,
 		MaxAttempts:   req.MaxAttempts,

@@ -84,6 +84,11 @@ type Config struct {
 	// overlap) instead of a cold full map, re-processing only the dirty
 	// cone while producing a byte-identical netlist.
 	ECO bool
+	// WorkerName identifies this node in a fleet: it is stamped on every
+	// /v1/map and /v1/classify response (and the X-Slap-Worker header), so
+	// clients and the coordinator can observe hash-affinity end to end.
+	// Empty on single-node deployments.
+	WorkerName string
 }
 
 // Server defaults.
@@ -182,6 +187,7 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/registry/models", s.instrument("/v1/registry/models", s.handleRegistryAddModel))
 	mux.Handle("POST /v1/registry/libraries", s.instrument("/v1/registry/libraries", s.handleRegistryAddLibrary))
 	mux.Handle("POST /v1/jobs/dataset", s.instrument("/v1/jobs/dataset", s.handleJobSubmit))
+	mux.Handle("POST /v1/shards/execute", s.instrument("/v1/shards/execute", s.handleShardExecute))
 	mux.Handle("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobStatus))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
@@ -304,6 +310,7 @@ type MapResponse struct {
 	QueueMS        float64 `json:"queue_ms"`
 	ElapsedMS      float64 `json:"elapsed_ms"`
 	Verified       bool    `json:"verified,omitempty"`
+	Worker         string  `json:"worker,omitempty"`
 	Cached         bool    `json:"cached,omitempty"`
 	ECO            bool    `json:"eco,omitempty"`
 	DirtyFraction  float64 `json:"dirty_fraction,omitempty"`
@@ -318,6 +325,7 @@ type ClassifyResponse struct {
 	Cuts      int                   `json:"cuts"`
 	Histogram []int                 `json:"histogram"`
 	Workers   int                   `json:"workers"`
+	Worker    string                `json:"worker,omitempty"`
 	Shared    bool                  `json:"shared,omitempty"`
 	ElapsedMS float64               `json:"elapsed_ms"`
 	Detail    []core.NodeCutClasses `json:"detail,omitempty"`
@@ -498,7 +506,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if len(reasons) > 0 {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    status,
 		"degraded":  reasons,
 		"uptime_s":  time.Since(s.start).Seconds(),
@@ -507,7 +515,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"budget":    s.sched.Budget(),
 		"inflight":  s.sched.InFlight(),
 		"queued":    s.sched.QueueDepth(),
-	})
+	}
+	if s.cfg.WorkerName != "" {
+		body["worker"] = s.cfg.WorkerName
+	}
+	// Cache warmth, for fleet coordinators judging routing quality: how
+	// many designs this node can re-map with a warm arena, and how many
+	// mapped results (and ECO baselines) it holds.
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		body["arena_cached"] = ps.Cached
+		body["arena_graphs"] = ps.Graphs
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		body["mapcache_entries"] = cs.Entries
+		body["mapcache_snapshots"] = cs.Snapshots
+		body["mapcache_bytes"] = cs.Bytes
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -631,9 +657,20 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		}
 		out.resp.QueueMS = queueMS
 		out.resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+		out.resp.Worker = s.cfg.WorkerName
+		s.stampWorker(w)
 		writeJSON(w, http.StatusOK, out.resp)
 	case <-ctx.Done():
 		writeError(w, schedStatus(ctx.Err()), fmt.Errorf("mapping abandoned: %w", ctx.Err()))
+	}
+}
+
+// stampWorker sets the X-Slap-Worker response header on fleet nodes, so
+// even payloads without a worker field (errors, raw shard frames) reveal
+// which node answered.
+func (s *Server) stampWorker(w http.ResponseWriter) {
+	if s.cfg.WorkerName != "" {
+		w.Header().Set("X-Slap-Worker", s.cfg.WorkerName)
 	}
 }
 
@@ -850,12 +887,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			Cuts:      out.cls.TotalCuts,
 			Histogram: out.cls.Histogram,
 			Workers:   granted,
+			Worker:    s.cfg.WorkerName,
 			Shared:    out.shared,
 			ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
 		}
 		if req.Detail {
 			resp.Detail = out.cls.Nodes
 		}
+		s.stampWorker(w)
 		writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		writeError(w, schedStatus(ctx.Err()), fmt.Errorf("classification abandoned: %w", ctx.Err()))

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"slap/internal/genjob"
+)
+
+// TestShardExecuteRoundTrip checks the worker half of remote dataset
+// fan-out: POST /v1/shards/execute answers with a framed shard whose
+// bytes pass the coordinator's full verification and whose SHA header
+// matches the frame content.
+func TestShardExecuteRoundTrip(t *testing.T) {
+	srv, ts := newTestServer(t, Config{WorkerName: "w-test"})
+	_ = srv
+
+	req := ShardExecRequest{
+		Circuits:       []string{"rc16"},
+		MapsPerCircuit: 2,
+		Seed:           7,
+		Shard:          0,
+		Circuit:        0,
+		Start:          0,
+		End:            2,
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/shards/execute", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/octet-stream" {
+		t.Errorf("Content-Type = %q, want application/octet-stream", got)
+	}
+	if got := resp.Header.Get("X-Slap-Worker"); got != "w-test" {
+		t.Errorf("X-Slap-Worker = %q, want w-test", got)
+	}
+	sha := resp.Header.Get(shardSHAHeader)
+	if sha == "" {
+		t.Fatalf("missing %s header", shardSHAHeader)
+	}
+
+	// The frame must verify exactly as a coordinator would verify it:
+	// against the fingerprint of the same sweep config.
+	dcfg, err := srv.datasetSweepConfig(req.Circuits, req.MapsPerCircuit, req.Classes, req.Seed, req.ShuffleLimit, req.Metric, req.MaxMapFailures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcfg, err = dcfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	sp := genjob.Spec{Shard: req.Shard, Circuit: req.Circuit, Start: req.Start, End: req.End}
+	gotSHA, err := genjob.VerifyShardBytes(data, "w-test", sp, genjob.Fingerprint(dcfg))
+	if err != nil {
+		t.Fatalf("returned frame failed verification: %v", err)
+	}
+	if gotSHA != sha {
+		t.Errorf("frame SHA %s disagrees with %s header %s", gotSHA, shardSHAHeader, sha)
+	}
+
+	// Determinism: re-executing the same shard yields the identical frame.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/shards/execute", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("re-execution status %d", resp2.StatusCode)
+	}
+	if string(data) != string(data2) {
+		t.Error("re-executing the same shard produced different frame bytes")
+	}
+}
+
+// TestShardExecuteRejects pins the endpoint's validation: fingerprint skew
+// answers 409, malformed specs and sweeps answer 400.
+func TestShardExecuteRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := ShardExecRequest{
+		MapsPerCircuit: 2,
+		Shard:          0, Circuit: 0, Start: 0, End: 2,
+	}
+
+	t.Run("fingerprint skew", func(t *testing.T) {
+		req := base
+		req.Fingerprint = "deadbeefdeadbeef"
+		resp, data := postJSON(t, ts.URL+"/v1/shards/execute", req)
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("status %d (%s), want 409", resp.StatusCode, data)
+		}
+	})
+	t.Run("no maps", func(t *testing.T) {
+		req := base
+		req.MapsPerCircuit = 0
+		resp, _ := postJSON(t, ts.URL+"/v1/shards/execute", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("spec out of range", func(t *testing.T) {
+		req := base
+		req.Circuit = 99
+		resp, _ := postJSON(t, ts.URL+"/v1/shards/execute", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("unknown circuit", func(t *testing.T) {
+		req := base
+		req.Circuits = []string{"mystery"}
+		resp, _ := postJSON(t, ts.URL+"/v1/shards/execute", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+}
+
+// TestWorkerNameStamping checks the fleet identity rides every data-path
+// answer: /v1/map and /v1/classify responses carry the worker field (and
+// header), /healthz reports the name, and an unnamed server omits them.
+func TestWorkerNameStamping(t *testing.T) {
+	_, named := newTestServer(t, Config{WorkerName: "w7"})
+	resp, data := postRaw(t, named.URL+"/v1/map", rc16Text(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d: %s", resp.StatusCode, data)
+	}
+	var mr MapResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Worker != "w7" {
+		t.Errorf("map response worker = %q, want w7", mr.Worker)
+	}
+	if got := resp.Header.Get("X-Slap-Worker"); got != "w7" {
+		t.Errorf("X-Slap-Worker = %q, want w7", got)
+	}
+
+	var hz struct {
+		Worker string `json:"worker"`
+	}
+	if status := getJSON(t, named.URL+"/healthz", &hz); status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	if hz.Worker != "w7" {
+		t.Errorf("healthz worker = %q, want w7", hz.Worker)
+	}
+
+	_, anon := newTestServer(t, Config{})
+	resp, data = postRaw(t, anon.URL+"/v1/map", rc16Text(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous map status %d", resp.StatusCode)
+	}
+	var anonMR MapResponse
+	if err := json.Unmarshal(data, &anonMR); err != nil {
+		t.Fatal(err)
+	}
+	if anonMR.Worker != "" {
+		t.Errorf("unnamed server stamped worker %q, want empty", anonMR.Worker)
+	}
+	if got := resp.Header.Get("X-Slap-Worker"); got != "" {
+		t.Errorf("unnamed server set X-Slap-Worker %q, want unset", got)
+	}
+}
