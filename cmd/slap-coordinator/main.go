@@ -18,6 +18,15 @@
 // POST /v1/workers/register, DELETE /v1/workers/{name}, GET /v1/workers,
 // POST /v1/jobs/dataset (202 + id), GET /v1/jobs/{id}, GET /healthz,
 // GET /metrics.
+//
+// With -journal set, membership changes and dataset jobs are logged to an
+// append-only checksummed file; a coordinator killed mid-sweep and
+// restarted with the same -journal re-adopts its self-registered workers
+// and resumes the sweep where it left off, producing a byte-identical
+// dataset. Per-worker circuit breakers (-breaker-threshold,
+// -breaker-cooldown) trip on consecutive request failures, and hedged
+// reads race a second replica when the hash-affine worker is saturated or
+// breaker-open.
 package main
 
 import (
@@ -68,6 +77,10 @@ func main() {
 		jobsDir       = flag.String("jobs-dir", "", "directory for fleet dataset-job shard files (default: under the system temp dir)")
 		shardConc     = flag.Int("shard-concurrency", 0, "concurrently outstanding dataset shards per job (0 = 2x worker count)")
 		drainWait     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		journal       = flag.String("journal", "", "append-only journal file for crash-safe membership and dataset jobs; restarting with the same path replays it and resumes half-finished sweeps")
+		reqTimeout    = flag.Duration("request-timeout", 0, "server-side ceiling for one proxied request including retries and hedges; clients lower it per request with ?timeout_ms= (0 = no ceiling)")
+		brkThreshold  = flag.Int("breaker-threshold", fleet.DefaultBreakerThreshold, "consecutive request failures that trip a worker's circuit breaker open")
+		brkCooldown   = flag.Duration("breaker-cooldown", fleet.DefaultBreakerCooldown, "open → half-open cooldown before a breaker admits a trial request")
 	)
 	flag.Var(&workers, "worker", "static fleet member, as name=url or url (repeatable); more can join at runtime via slap-serve -coordinator")
 	flag.Parse()
@@ -83,6 +96,10 @@ func main() {
 		MaxBodyBytes:      *maxBody,
 		JobsDir:           *jobsDir,
 		ShardConcurrency:  *shardConc,
+		JournalPath:       *journal,
+		RequestTimeout:    *reqTimeout,
+		BreakerThreshold:  *brkThreshold,
+		BreakerCooldown:   *brkCooldown,
 	}
 	if err := run(*addr, cfg, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "slap-coordinator:", err)

@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"slap/internal/chaos"
 	"slap/internal/infer"
 	"slap/internal/server"
 )
@@ -86,6 +87,12 @@ func main() {
 		advertise   = flag.String("advertise", "", "URL under which a fleet coordinator can reach this worker (e.g. http://10.0.0.5:8351)")
 		coordinator = flag.String("coordinator", "", "coordinator base URL to self-register with (requires -advertise)")
 		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "re-registration cadence while -coordinator is set")
+
+		// Fault injection (testing only): a deterministic chaos schedule
+		// wrapped around the whole handler, e.g.
+		// -chaos 'kind=kill,path=/v1/map,every=3;kind=latency,path=/v1/map,delay=50ms'
+		chaosSpec = flag.String("chaos", "", "deterministic fault-injection schedule (semicolon-separated rules of kind=kill|hang|latency|error|corrupt with path=,delay=,after=,every=,count=,prob=); testing only")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for probabilistic chaos rules; same seed + same request order = same faults")
 	)
 	flag.Var(&models, "model", "model to preload, as name=path or path (repeatable)")
 	flag.Var(&libs, "lib", "genlib-like library to preload, as name=path or path (repeatable)")
@@ -119,7 +126,19 @@ func main() {
 		ECO:               *eco,
 	}
 	fleet := fleetConfig{name: workerName, advertise: *advertise, coordinator: *coordinator, heartbeat: *heartbeat}
-	if err := run(*addr, models, libs, cfg, fleet, *drainWait); err != nil {
+
+	var sched *chaos.Schedule
+	if *chaosSpec != "" {
+		rules, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slap-serve: -chaos:", err)
+			os.Exit(2)
+		}
+		sched = chaos.New(*chaosSeed, rules...)
+		log.Printf("CHAOS ENABLED: %d fault rule(s), seed %d — testing only", len(rules), *chaosSeed)
+	}
+
+	if err := run(*addr, models, libs, cfg, fleet, sched, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "slap-serve:", err)
 		os.Exit(1)
 	}
@@ -191,7 +210,7 @@ func (f fleetConfig) registerLoop(ctx context.Context) {
 	}
 }
 
-func run(addr string, models, libs artifactFlags, cfg server.Config, fleet fleetConfig, drainWait time.Duration) error {
+func run(addr string, models, libs artifactFlags, cfg server.Config, fleet fleetConfig, sched *chaos.Schedule, drainWait time.Duration) error {
 	reg := server.NewRegistry()
 	for _, m := range models {
 		if err := reg.AddModelFile(m.name, m.path); err != nil {
@@ -208,9 +227,13 @@ func run(addr string, models, libs artifactFlags, cfg server.Config, fleet fleet
 	s := server.New(cfg)
 	s.Metrics().PublishExpvar()
 
+	handler := http.Handler(s.Handler())
+	if sched != nil {
+		handler = sched.Middleware(handler)
+	}
 	hs := &http.Server{
 		Addr:              addr,
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -33,7 +33,7 @@ func TestRunRejectsBadArtifacts(t *testing.T) {
 	if err := models.Set("/nonexistent/model.gob"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", models, nil, server.Config{WorkerBudget: 1, QueueCap: 1}, fleetConfig{}, 0); err == nil {
+	if err := run("127.0.0.1:0", models, nil, server.Config{WorkerBudget: 1, QueueCap: 1}, fleetConfig{}, nil, 0); err == nil {
 		t.Error("run with a missing model file succeeded, want startup error")
 	}
 }

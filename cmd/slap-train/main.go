@@ -49,6 +49,8 @@ func main() {
 	flag.IntVar(&opt.FailureBudget, "failure-budget", 0, "shards allowed to fail permanently before the run aborts")
 	flag.IntVar(&opt.MaxAttempts, "max-attempts", 0, "attempts per shard before it counts as failed (0 = 3)")
 	flag.IntVar(&opt.MapFailures, "map-failures", 0, "individual mappings allowed to fail across the sweep")
+	flag.StringVar(&opt.DatasetOut, "dataset-out", "", "also save the generated dataset (gob) to this file — the reference for byte-comparing fleet sweeps")
+	flag.BoolVar(&opt.DatasetOnly, "dataset-only", false, "stop after dataset generation (skip training); useful with -dataset-out")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the sweep cleanly: in-flight shards stop, the
@@ -77,6 +79,8 @@ type options struct {
 	FailureBudget int
 	MaxAttempts   int
 	MapFailures   int
+	DatasetOut    string
+	DatasetOnly   bool
 }
 
 func run(ctx context.Context, opt options) error {
@@ -104,6 +108,31 @@ func run(ctx context.Context, opt options) error {
 		}
 	} else {
 		fmt.Printf("generating %d random mappings per circuit (rc16 + cla16)...\n", p.TrainMaps)
+		if opt.DatasetOut != "" || opt.DatasetOnly {
+			// Generate explicitly (instead of inside core.Train) so the
+			// sweep can be saved; same config shape a fleet sweep resolves
+			// to, so the files byte-compare.
+			ds, err = dataset.Generate(dataset.Config{
+				Circuits:       []*aig.AIG{circuits.TrainRC16(), circuits.TrainCLA16()},
+				Library:        lib,
+				MapsPerCircuit: p.TrainMaps,
+				Seed:           p.Seed,
+				MaxFailures:    opt.MapFailures,
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	if opt.DatasetOut != "" {
+		if err := ds.SaveFile(opt.DatasetOut); err != nil {
+			return err
+		}
+		fmt.Printf("saved dataset to %s (%d samples)\n", opt.DatasetOut, ds.Len())
+	}
+	if opt.DatasetOnly {
+		return nil
 	}
 
 	s, rep, err := core.Train(core.TrainOptions{

@@ -1,0 +1,296 @@
+// Package chaos injects reproducible faults into the fleet's HTTP paths.
+// A Schedule is a deterministic, seeded plan of worker faults — kill,
+// hang, latency, synthetic error, corrupt byte — consulted once per
+// matching request. The same seed and rule set always injects the same
+// faults at the same request indices, so every failure mode the fleet
+// claims to survive is driven by a reproducible test matrix instead of a
+// hand-rolled one-off: tests (and operators, via slap-serve -chaos) dial
+// in a schedule, run traffic, and assert the invariants held.
+//
+// Two injection points cover both sides of the wire:
+//
+//   - Schedule.Transport wraps an http.RoundTripper, faulting outbound
+//     requests — the hook the fleet coordinator's proxy and genjob's
+//     remote shard transport share via fleet.Config.Client;
+//   - Schedule.Middleware wraps an http.Handler, faulting inbound
+//     requests — how a test (or slap-serve -chaos) makes a worker flaky
+//     without killing the process.
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is one injected fault.
+type Kind int
+
+const (
+	// KindNone injects nothing.
+	KindNone Kind = iota
+	// KindKill drops the exchange at the transport level: an outbound
+	// round trip fails with a connection-style error before any bytes
+	// move; an inbound request's connection is hijacked and closed — the
+	// observable behaviour of a SIGKILLed peer.
+	KindKill
+	// KindHang blocks until the request context is cancelled, modelling a
+	// stuck-but-alive peer. It never returns on its own: a caller without
+	// a deadline hangs, which is exactly the failure mode deadline
+	// propagation exists to bound.
+	KindHang
+	// KindLatency delays the exchange by the rule's Delay, then proceeds
+	// normally.
+	KindLatency
+	// KindError answers a synthetic HTTP 500 without doing the real work.
+	KindError
+	// KindCorrupt performs the real exchange, then flips one byte of the
+	// response body — bit rot in flight. Checksummed payloads must detect
+	// it; anything that trusts the bytes is a bug this fault exists to
+	// find.
+	KindCorrupt
+)
+
+// String names the kind for logs, metrics and the Parse format.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindKill:
+		return "kill"
+	case KindHang:
+		return "hang"
+	case KindLatency:
+		return "latency"
+	case KindError:
+		return "error"
+	case KindCorrupt:
+		return "corrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// parseKind inverts String for the Parse flag format.
+func parseKind(s string) (Kind, error) {
+	for _, k := range []Kind{KindNone, KindKill, KindHang, KindLatency, KindError, KindCorrupt} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return KindNone, fmt.Errorf("chaos: unknown fault kind %q (want kill, hang, latency, error or corrupt)", s)
+}
+
+// Rule selects which requests a fault hits. A request matches when its
+// URL path contains Path (empty matches everything); among matching
+// requests, After/Every/Count gate by match index and Prob gates
+// probabilistically — but deterministically, from the schedule seed and
+// the match index, never from wall time or a shared RNG stream.
+type Rule struct {
+	// Kind is the fault to inject.
+	Kind Kind
+	// Path substring-matches the request path ("" = every request).
+	Path string
+	// Delay is the injected latency for KindLatency.
+	Delay time.Duration
+	// After skips the first After matching requests.
+	After int
+	// Every fires on every Every-th matching request past After
+	// (0 or 1 = every one).
+	Every int
+	// Count stops injecting after Count faults (0 = unlimited).
+	Count int
+	// Prob additionally gates each selected request with a deterministic
+	// pseudo-random draw in [0,1) derived from (seed, rule, match index);
+	// 0 means no probabilistic gate.
+	Prob float64
+}
+
+// Injection records one injected fault, for test assertions.
+type Injection struct {
+	// Seq is the schedule-wide request sequence number (0-based, counted
+	// across all requests the schedule saw, matching or not).
+	Seq int
+	// Path is the request path the fault hit.
+	Path string
+	// Kind is what was injected.
+	Kind Kind
+}
+
+// ruleState pairs a rule with its per-rule match and injection counters.
+type ruleState struct {
+	Rule
+	matches int
+	fired   int
+}
+
+// Schedule is a deterministic fault plan: rules plus a seed. Safe for
+// concurrent use; the decision for the n-th match of a rule is a pure
+// function of (seed, rule index, n).
+type Schedule struct {
+	seed int64
+
+	mu    sync.Mutex
+	rules []ruleState
+	seq   int
+	log   []Injection
+}
+
+// New builds a schedule from a seed and rules. Rules are consulted in
+// order; the first that fires wins.
+func New(seed int64, rules ...Rule) *Schedule {
+	s := &Schedule{seed: seed, rules: make([]ruleState, len(rules))}
+	for i, r := range rules {
+		s.rules[i] = ruleState{Rule: r}
+	}
+	return s
+}
+
+// splitmix64 is the avalanche mixer the ring and structural hashing use;
+// here it turns (seed, rule, match) into the deterministic draw for Prob.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Decision is the outcome of consulting the schedule for one request.
+type Decision struct {
+	Kind  Kind
+	Delay time.Duration
+}
+
+// Decide consults the schedule for a request to path and returns the
+// fault to inject (KindNone for a clean pass). Each call advances the
+// schedule's request sequence.
+func (s *Schedule) Decide(path string) Decision {
+	if s == nil {
+		return Decision{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.seq
+	s.seq++
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		n := r.matches
+		r.matches++
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if n < r.After {
+			continue
+		}
+		if every := r.Every; every > 1 && (n-r.After)%every != 0 {
+			continue
+		}
+		if r.Prob > 0 {
+			draw := splitmix64(uint64(s.seed) ^ uint64(i)<<32 ^ uint64(n))
+			if float64(draw>>11)/(1<<53) >= r.Prob {
+				continue
+			}
+		}
+		r.fired++
+		s.log = append(s.log, Injection{Seq: seq, Path: path, Kind: r.Kind})
+		return Decision{Kind: r.Kind, Delay: r.Delay}
+	}
+	return Decision{}
+}
+
+// Injections snapshots every fault injected so far, in order.
+func (s *Schedule) Injections() []Injection {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Injection(nil), s.log...)
+}
+
+// Requests reports how many requests the schedule has been consulted for.
+func (s *Schedule) Requests() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// corruptIndex picks the byte a KindCorrupt fault flips in an n-byte
+// body, deterministically from the schedule seed and the injection
+// ordinal, skewed away from byte 0 so framing magics are not the only
+// thing ever corrupted.
+func (s *Schedule) corruptIndex(ordinal, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(splitmix64(uint64(s.seed)^0xc0de^uint64(ordinal)) % uint64(n))
+}
+
+// Parse decodes the CLI rule format: semicolon-separated rules of
+// comma-separated key=value pairs, e.g.
+//
+//	kind=latency,path=/v1/map,delay=50ms,every=2;kind=kill,after=3,count=1
+//
+// Keys: kind (required), path, delay, after, every, count, prob.
+func Parse(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		var r Rule
+		seenKind := false
+		for _, kv := range strings.Split(rs, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("chaos: malformed rule field %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "kind":
+				r.Kind, err = parseKind(v)
+				seenKind = err == nil
+			case "path":
+				r.Path = v
+			case "delay":
+				r.Delay, err = time.ParseDuration(v)
+			case "after":
+				r.After, err = strconv.Atoi(v)
+			case "every":
+				r.Every, err = strconv.Atoi(v)
+			case "count":
+				r.Count, err = strconv.Atoi(v)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(v, 64)
+			default:
+				return nil, fmt.Errorf("chaos: unknown rule key %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad %s value %q: %w", k, v, err)
+			}
+		}
+		if !seenKind {
+			return nil, fmt.Errorf("chaos: rule %q is missing kind=", rs)
+		}
+		if r.Kind == KindLatency && r.Delay <= 0 {
+			return nil, fmt.Errorf("chaos: latency rule %q needs delay=", rs)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("chaos: empty rule spec")
+	}
+	return rules, nil
+}

@@ -1,0 +1,243 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drive runs the same request paths through a schedule and returns the
+// kinds decided, so determinism is assertable across fresh schedules.
+func drive(s *Schedule, paths []string) []Kind {
+	out := make([]Kind, len(paths))
+	for i, p := range paths {
+		out[i] = s.Decide(p).Kind
+	}
+	return out
+}
+
+// TestScheduleDeterministic pins the core contract: the same seed and
+// rules over the same request sequence inject the same faults, and a
+// different seed (with a probabilistic rule) injects a different set.
+func TestScheduleDeterministic(t *testing.T) {
+	paths := make([]string, 64)
+	for i := range paths {
+		if i%3 == 0 {
+			paths[i] = "/v1/classify"
+		} else {
+			paths[i] = "/v1/map"
+		}
+	}
+	rules := []Rule{
+		{Kind: KindError, Path: "/v1/map", Prob: 0.3},
+		{Kind: KindLatency, Path: "/v1/classify", Delay: time.Millisecond, Every: 2},
+	}
+	a := drive(New(7, rules...), paths)
+	b := drive(New(7, rules...), paths)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	injected := 0
+	for _, k := range a {
+		if k != KindNone {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("schedule injected nothing over 64 requests at prob 0.3")
+	}
+	c := drive(New(8, rules...), paths)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical probabilistic schedules")
+	}
+}
+
+// TestScheduleGating pins After/Every/Count arithmetic.
+func TestScheduleGating(t *testing.T) {
+	s := New(1, Rule{Kind: KindKill, After: 2, Every: 3, Count: 2})
+	var fired []int
+	for i := 0; i < 12; i++ {
+		if s.Decide("/x").Kind == KindKill {
+			fired = append(fired, i)
+		}
+	}
+	// Matches 0,1 skipped (After), then every 3rd match fires: 2, 5 — and
+	// Count stops it there.
+	if want := []int{2, 5}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	if got := s.Requests(); got != 12 {
+		t.Errorf("Requests() = %d, want 12", got)
+	}
+	inj := s.Injections()
+	if len(inj) != 2 || inj[0].Kind != KindKill || inj[0].Seq != 2 {
+		t.Errorf("injection log %+v, want two kills starting at seq 2", inj)
+	}
+}
+
+// TestRuleOrderFirstWins checks overlapping rules resolve in order.
+func TestRuleOrderFirstWins(t *testing.T) {
+	s := New(1, Rule{Kind: KindError}, Rule{Kind: KindKill})
+	if got := s.Decide("/x").Kind; got != KindError {
+		t.Fatalf("first matching rule = %v, want error", got)
+	}
+}
+
+// TestTransportFaults drives each fault kind through the RoundTripper
+// wrapper against a live backend.
+func TestTransportFaults(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "payload-bytes")
+	}))
+	defer backend.Close()
+
+	t.Run("kill", func(t *testing.T) {
+		client := &http.Client{Transport: New(1, Rule{Kind: KindKill}).Transport(nil)}
+		_, err := client.Get(backend.URL + "/v1/map")
+		if !errors.Is(err, ErrInjectedKill) {
+			t.Fatalf("killed round trip error = %v, want ErrInjectedKill", err)
+		}
+	})
+
+	t.Run("hang-respects-context", func(t *testing.T) {
+		client := &http.Client{Transport: New(1, Rule{Kind: KindHang}).Transport(nil)}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, backend.URL+"/v1/map", nil)
+		start := time.Now()
+		_, err := client.Do(req)
+		if err == nil {
+			t.Fatal("hung round trip returned without error")
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("hang error = %v, want deadline exceeded", err)
+		}
+		if time.Since(start) > 2*time.Second {
+			t.Fatal("hang ignored the context deadline")
+		}
+	})
+
+	t.Run("latency", func(t *testing.T) {
+		client := &http.Client{Transport: New(1, Rule{Kind: KindLatency, Delay: 40 * time.Millisecond}).Transport(nil)}
+		start := time.Now()
+		resp, err := client.Get(backend.URL + "/v1/map")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if d := time.Since(start); d < 40*time.Millisecond {
+			t.Fatalf("latency fault delayed only %v, want >= 40ms", d)
+		}
+	})
+
+	t.Run("error", func(t *testing.T) {
+		client := &http.Client{Transport: New(1, Rule{Kind: KindError}).Transport(nil)}
+		resp, err := client.Get(backend.URL + "/v1/map")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("error fault answered %d, want 500", resp.StatusCode)
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		client := &http.Client{Transport: New(1, Rule{Kind: KindCorrupt}).Transport(nil)}
+		resp, err := client.Get(backend.URL + "/v1/map")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) == "payload-bytes" {
+			t.Fatal("corrupt fault left the body intact")
+		}
+		if len(b) != len("payload-bytes") {
+			t.Fatalf("corrupt fault changed the length: %d vs %d", len(b), len("payload-bytes"))
+		}
+	})
+}
+
+// TestMiddlewareFaults drives the server-side injection point.
+func TestMiddlewareFaults(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "payload-bytes")
+	})
+
+	t.Run("error-then-clean", func(t *testing.T) {
+		ts := httptest.NewServer(New(1, Rule{Kind: KindError, Count: 1}).Middleware(inner))
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/v1/map")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("first request answered %d, want injected 500", resp.StatusCode)
+		}
+		resp, err = http.Get(ts.URL + "/v1/map")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(b) != "payload-bytes" {
+			t.Fatalf("post-Count request = %d %q, want clean 200", resp.StatusCode, b)
+		}
+	})
+
+	t.Run("kill-drops-connection", func(t *testing.T) {
+		ts := httptest.NewServer(New(1, Rule{Kind: KindKill}).Middleware(inner))
+		defer ts.Close()
+		if _, err := http.Get(ts.URL + "/v1/map"); err == nil {
+			t.Fatal("killed connection produced a response")
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		ts := httptest.NewServer(New(1, Rule{Kind: KindCorrupt}).Middleware(inner))
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/v1/map")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) == "payload-bytes" || len(b) != len("payload-bytes") {
+			t.Fatalf("corrupted body = %q", b)
+		}
+	})
+}
+
+// TestParse round-trips the CLI rule format and rejects malformed specs.
+func TestParse(t *testing.T) {
+	rules, err := Parse("kind=latency,path=/v1/map,delay=50ms,every=2; kind=kill,after=3,count=1,prob=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Kind: KindLatency, Path: "/v1/map", Delay: 50 * time.Millisecond, Every: 2},
+		{Kind: KindKill, After: 3, Count: 1, Prob: 0.5},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Fatalf("Parse = %+v, want %+v", rules, want)
+	}
+	for _, bad := range []string{
+		"", "kind=explode", "path=/x", "kind=latency", "kind=kill,delay", "kind=kill,after=x",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", bad)
+		}
+	}
+	if !strings.Contains(KindCorrupt.String(), "corrupt") {
+		t.Error("Kind.String broken")
+	}
+}

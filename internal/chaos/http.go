@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ErrInjectedKill is the transport error a KindKill fault fails with; it
+// is indistinguishable in shape from a dropped connection, which is the
+// point, but unwraps to this sentinel so tests can tell injected death
+// from the real thing.
+var ErrInjectedKill = errors.New("chaos: injected connection kill")
+
+// transport is the outbound injection point.
+type transport struct {
+	s    *Schedule
+	base http.RoundTripper
+}
+
+// Transport wraps base (nil = http.DefaultTransport) so every outbound
+// request consults the schedule first. Install it on the fleet
+// coordinator's client (fleet.Config.Client) to fault both the request
+// proxy and the remote shard transport with one hook.
+func (s *Schedule) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{s: s, base: base}
+}
+
+func (t *transport) RoundTrip(r *http.Request) (*http.Response, error) {
+	d := t.s.Decide(r.URL.Path)
+	switch d.Kind {
+	case KindKill:
+		return nil, ErrInjectedKill
+	case KindHang:
+		<-r.Context().Done()
+		return nil, r.Context().Err()
+	case KindLatency:
+		tm := time.NewTimer(d.Delay)
+		defer tm.Stop()
+		select {
+		case <-tm.C:
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	case KindError:
+		return syntheticError(r), nil
+	case KindCorrupt:
+		resp, err := t.base.RoundTrip(r)
+		if err != nil {
+			return nil, err
+		}
+		return t.s.corruptResponse(resp)
+	}
+	return t.base.RoundTrip(r)
+}
+
+// syntheticError fabricates the 500 a KindError fault answers with.
+func syntheticError(r *http.Request) *http.Response {
+	body := `{"error":"chaos: injected worker error"}`
+	return &http.Response{
+		Status:        "500 Internal Server Error",
+		StatusCode:    http.StatusInternalServerError,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       r,
+	}
+}
+
+// corruptResponse buffers a response body and flips one deterministic
+// byte, leaving status and headers alone (Content-Length stays true: one
+// byte changes value, not length).
+func (s *Schedule) corruptResponse(resp *http.Response) (*http.Response, error) {
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	ordinal := len(s.log)
+	s.mu.Unlock()
+	if len(b) > 0 {
+		b[s.corruptIndex(ordinal, len(b))] ^= 0x40
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(b))
+	resp.ContentLength = int64(len(b))
+	return resp, nil
+}
+
+// Middleware wraps next so every inbound request consults the schedule:
+// the server-side injection point, exposed by slap-serve -chaos to make
+// a live worker flaky without killing its process.
+func (s *Schedule) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := s.Decide(r.URL.Path)
+		switch d.Kind {
+		case KindKill:
+			// Drop the connection with no response bytes — what a peer of
+			// a SIGKILLed process observes. Fall back to a plain panic
+			// abort when the writer cannot hijack (e.g. HTTP/2).
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			panic(http.ErrAbortHandler)
+		case KindHang:
+			<-r.Context().Done()
+			return
+		case KindLatency:
+			tm := time.NewTimer(d.Delay)
+			defer tm.Stop()
+			select {
+			case <-tm.C:
+			case <-r.Context().Done():
+				return
+			}
+		case KindError:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"chaos: injected worker error"}`)
+			return
+		case KindCorrupt:
+			cw := &corruptWriter{ResponseWriter: w}
+			next.ServeHTTP(cw, r)
+			s.mu.Lock()
+			ordinal := len(s.log)
+			s.mu.Unlock()
+			b := cw.buf.Bytes()
+			if len(b) > 0 {
+				b[s.corruptIndex(ordinal, len(b))] ^= 0x40
+			}
+			w.Write(b)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// corruptWriter buffers the response body so the middleware can flip a
+// byte before anything reaches the wire. Status and headers pass through
+// unchanged.
+type corruptWriter struct {
+	http.ResponseWriter
+	buf bytes.Buffer
+}
+
+func (c *corruptWriter) Write(b []byte) (int, error) { return c.buf.Write(b) }

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit-breaker defaults.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 2 * time.Second
+)
+
+// BreakerState is one circuit breaker's position.
+type BreakerState int
+
+// The per-worker circuit breaker sits under the up/degraded/dead health
+// state machine and reacts faster than DeadAfter can: it watches the
+// request path only, trips open after Threshold consecutive failures,
+// and recovers through a half-open probe instead of waiting for the
+// worker to be declared dead and revived.
+//
+//	closed ──(Threshold consecutive request failures)──▶ open
+//	open ──(Cooldown elapses)──▶ half-open (one trial request allowed)
+//	half-open ──(trial succeeds, or a /healthz probe succeeds)──▶ closed
+//	half-open ──(trial fails)──▶ open (fresh cooldown)
+//
+// While open, routing treats the worker like a dead one (skip to the
+// next ring replica, count a hedge when the skipped worker was the
+// affine one); unlike dead, the breaker re-admits traffic by itself.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+// String names the state for metrics and health reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is one worker's circuit breaker.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock (tests)
+
+	mu      sync.Mutex
+	state   BreakerState
+	fails   int       // consecutive failures while closed
+	until   time.Time // while open: when half-open probing may begin
+	probing bool      // half-open: the single trial slot is taken
+	opened  func()    // observer for closed/half-open → open transitions
+}
+
+// newBreaker builds a closed breaker with the given trip threshold and
+// open→half-open cooldown (zero values take the defaults).
+func newBreaker(threshold int, cooldown time.Duration, opened func()) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now, opened: opened}
+}
+
+// Allow reports whether a request may be sent. probe is true when the
+// caller holds the half-open trial slot and must report the outcome via
+// Success/Failure (or return the slot with Cancel).
+func (b *breaker) Allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Before(b.until) {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// Success records a completed request (trial or regular): the worker is
+// serving again, so the breaker closes from any state.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// ProbeSuccess is the probe-driven close: a successful /healthz probe
+// stands in for the half-open trial, recovering an idle worker without
+// spending a client request. It only acts once the cooldown has elapsed
+// — a worker that serves /healthz while failing requests must not have
+// its breaker washed closed by every probe cycle.
+func (b *breaker) ProbeSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen || (b.state == BreakerOpen && !b.now().Before(b.until)) {
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probing = false
+	}
+}
+
+// Failure records a failed request. A failed half-open trial reopens
+// with a fresh cooldown; Threshold consecutive failures trip a closed
+// breaker.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	default: // already open: a straggling in-flight failure changes nothing
+	}
+}
+
+// trip moves to open. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.probing = false
+	b.until = b.now().Add(b.cooldown)
+	if b.opened != nil {
+		b.opened()
+	}
+}
+
+// Cancel returns an unused half-open trial slot (the caller decided not
+// to send after all, e.g. no in-flight slot was free).
+func (b *breaker) Cancel(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// State snapshots the breaker position, surfacing open→half-open
+// eligibility so reports do not show "open" forever on an idle fleet.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && !b.now().Before(b.until) {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

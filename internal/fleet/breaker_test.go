@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle pins the closed → open → half-open → closed walk
+// with an injected clock.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	opens := 0
+	b := newBreaker(3, time.Second, func() { opens++ })
+	b.now = func() time.Time { return now }
+
+	// Closed: failures below threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("breaker tripped after %d failures, threshold 3", i+1)
+		}
+	}
+	// A success resets the consecutive count.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after reset+2 failures = %v, want closed", got)
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", got)
+	}
+	if opens != 1 {
+		t.Fatalf("open observer fired %d times, want 1", opens)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open trial is admitted.
+	now = now.Add(time.Second)
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("post-cooldown Allow = (%v,%v), want one trial", ok, probe)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	// Failed trial reopens with a fresh cooldown.
+	b.Failure()
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("breaker admitted traffic right after a failed trial")
+	}
+	if opens != 2 {
+		t.Fatalf("open observer fired %d times after re-trip, want 2", opens)
+	}
+
+	// Next trial succeeds: closed again, failures start from zero.
+	now = now.Add(time.Second)
+	ok, probe = b.Allow()
+	if !ok || !probe {
+		t.Fatal("breaker refused the second trial")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", got)
+	}
+	b.Failure()
+	b.Failure()
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("failure count survived the close")
+	}
+}
+
+// TestBreakerCancelReturnsTrialSlot checks an unused half-open slot can
+// be handed to the next caller.
+func TestBreakerCancelReturnsTrialSlot(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Second, nil)
+	b.now = func() time.Time { return now }
+	b.Failure() // trips at threshold 1
+	now = now.Add(2 * time.Second)
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatal("no trial admitted after cooldown")
+	}
+	b.Cancel(probe)
+	if ok, probe = b.Allow(); !ok || !probe {
+		t.Fatal("cancelled trial slot was not returned")
+	}
+	// Cancel with probe=false is a no-op and must not free a held slot.
+	b.Cancel(false)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("Cancel(false) freed the trial slot it did not hold")
+	}
+}
+
+// TestBreakerProbeDrivenClose pins the health-probe path: once the
+// cooldown elapses, a successful /healthz probe closes the breaker
+// without spending a client request on the trial — but inside the
+// cooldown, probes (which only prove /healthz works, not /v1/map) must
+// not wash the breaker closed.
+func TestBreakerProbeDrivenClose(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Second, nil)
+	b.now = func() time.Time { return now }
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	b.ProbeSuccess()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("probe inside the cooldown closed the breaker (state %v)", got)
+	}
+	now = now.Add(2 * time.Second)
+	b.ProbeSuccess()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after post-cooldown probe = %v, want closed", got)
+	}
+	if ok, probe := b.Allow(); !ok || probe {
+		t.Fatalf("Allow after probe-driven close = (%v,%v), want plain admission", ok, probe)
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +71,21 @@ type Config struct {
 	InflightPerWorker int64
 	// MaxBodyBytes bounds proxied request bodies (0 = 8 MiB).
 	MaxBodyBytes int64
+	// RequestTimeout bounds one proxied request end-to-end — every retry,
+	// backoff and hedge included (0 = unbounded). A client ?timeout_ms
+	// tightens it further but never extends it.
+	RequestTimeout time.Duration
+	// BreakerThreshold is how many consecutive request failures trip a
+	// worker's circuit breaker open; BreakerCooldown is how long an open
+	// breaker waits before admitting a half-open trial (0 = 3 / 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// JournalPath, when set, makes the control plane crash-safe: fleet
+	// membership and dataset-job lifecycle append to this checksummed JSONL
+	// journal before taking effect, and a restarted coordinator replays it —
+	// re-adopting workers and resuming unfinished jobs where their shard
+	// manifests left off.
+	JournalPath string
 	// JobsDir is where fleet dataset jobs persist fetched shard files and
 	// manifests (empty = "slap-fleet-jobs" under os.TempDir).
 	JobsDir string
@@ -88,6 +105,7 @@ type Coordinator struct {
 	metrics *Metrics
 	client  *http.Client
 	mux     *http.ServeMux
+	journal *journal // nil when Config.JournalPath is empty
 	start   time.Time
 
 	mu      sync.Mutex
@@ -127,6 +145,12 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
 	if cfg.JobsDir == "" {
 		cfg.JobsDir = filepath.Join(os.TempDir(), "slap-fleet-jobs")
 	}
@@ -141,9 +165,35 @@ func New(cfg Config) (*Coordinator, error) {
 	if c.client == nil {
 		c.client = &http.Client{}
 	}
-	for _, sw := range cfg.Workers {
-		if _, err := c.addWorker(sw.Name, sw.URL, true); err != nil {
+	var replayed *replayState
+	if cfg.JournalPath != "" {
+		j, st, err := openJournal(cfg.JournalPath)
+		if err != nil {
 			return nil, err
+		}
+		c.journal, replayed = j, st
+	}
+	// Static workers are flag-owned — they come back from the command line
+	// on every start and are not journaled.
+	for _, sw := range cfg.Workers {
+		if _, err := c.addWorker(sw.Name, sw.URL, true, false); err != nil {
+			return nil, err
+		}
+	}
+	if replayed != nil {
+		c.metrics.addJournalReplays(int64(replayed.applied))
+		// Re-adopt journaled members (name collisions keep the static
+		// record); probes refresh their health within one interval.
+		names := make([]string, 0, len(replayed.workers))
+		for n := range replayed.workers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			rec := replayed.workers[n]
+			if _, err := c.addWorker(rec.Name, rec.URL, rec.Static, false); err != nil {
+				return nil, fmt.Errorf("replaying journal %s: %w", cfg.JournalPath, err)
+			}
 		}
 	}
 	c.metrics.statesFunc = c.workerStates
@@ -163,6 +213,9 @@ func New(cfg Config) (*Coordinator, error) {
 
 	c.wg.Add(1)
 	go c.probeLoop()
+	if replayed != nil {
+		c.resumeJobs(replayed)
+	}
 	return c, nil
 }
 
@@ -172,7 +225,9 @@ func (c *Coordinator) Handler() http.Handler { return c.mux }
 // Metrics exposes the coordinator's metrics (tests).
 func (c *Coordinator) Metrics() *Metrics { return c.metrics }
 
-// Close stops the probe loop and cancels running fleet jobs.
+// Close stops the probe loop, cancels running fleet jobs and closes the
+// journal. Close is what a crash looks like to the journal: a job caught
+// mid-flight keeps its submit record and resumes on the next start.
 func (c *Coordinator) Close() {
 	close(c.stop)
 	c.wg.Wait()
@@ -180,11 +235,14 @@ func (c *Coordinator) Close() {
 		v.(*fleetJob).cancel()
 		return true
 	})
+	c.journal.close()
 }
 
 // addWorker inserts or refreshes a worker record. Returns whether the
-// membership changed (triggering a ring rebuild).
-func (c *Coordinator) addWorker(name, rawURL string, static bool) (changed bool, err error) {
+// membership changed (triggering a ring rebuild). record=false during
+// startup (static flags, journal replay) keeps the journal from
+// re-absorbing its own records.
+func (c *Coordinator) addWorker(name, rawURL string, static, record bool) (changed bool, err error) {
 	u, err := url.Parse(rawURL)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return false, fmt.Errorf("fleet: invalid worker URL %q (want http://host:port)", rawURL)
@@ -197,7 +255,11 @@ func (c *Coordinator) addWorker(name, rawURL string, static bool) (changed bool,
 	defer c.mu.Unlock()
 	if w, ok := c.workers[name]; ok {
 		// Heartbeat refresh: same name re-registering updates its URL and
-		// proves liveness.
+		// proves liveness. Only a URL change is worth a journal record —
+		// heartbeats must not grow the journal.
+		if record && w.url != clean {
+			c.journal.append(journalRecord{Op: opWorkerAdd, Name: name, URL: clean, Static: w.static})
+		}
 		w.url = clean
 		w.registered = time.Now()
 		w.consecFails = 0
@@ -206,12 +268,16 @@ func (c *Coordinator) addWorker(name, rawURL string, static bool) (changed bool,
 		}
 		return false, nil
 	}
+	if record {
+		c.journal.append(journalRecord{Op: opWorkerAdd, Name: name, URL: clean, Static: static})
+	}
 	c.workers[name] = &worker{
 		name:       name,
 		url:        clean,
 		static:     static,
 		state:      StateUp,
 		registered: time.Now(),
+		brk:        newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown, c.metrics.breakerOpened),
 	}
 	c.rebuildRingLocked()
 	return true, nil
@@ -219,11 +285,14 @@ func (c *Coordinator) addWorker(name, rawURL string, static bool) (changed bool,
 
 // removeWorker drops a worker by name (registered or static) and rebuilds
 // the ring. Reports whether it existed.
-func (c *Coordinator) removeWorker(name string) bool {
+func (c *Coordinator) removeWorker(name string, record bool) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.workers[name]; !ok {
 		return false
+	}
+	if record {
+		c.journal.append(journalRecord{Op: opWorkerRemove, Name: name})
 	}
 	delete(c.workers, name)
 	c.rebuildRingLocked()
@@ -328,11 +397,76 @@ func routeKey(body []byte, contentType string, q url.Values) (uint64, error) {
 	return g.StructuralHash(), nil
 }
 
+// clientTimeout resolves one proxied request's time budget: the client's
+// ?timeout_ms clamped by the coordinator's RequestTimeout. Zero means
+// unbounded (beyond the client's own connection lifetime).
+func clientTimeout(q url.Values, def time.Duration) time.Duration {
+	t := def
+	if ms := q.Get("timeout_ms"); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			if d := time.Duration(v) * time.Millisecond; t <= 0 || d < t {
+				t = d
+			}
+		}
+	}
+	return t
+}
+
+// pickResult is one candidate-scan outcome.
+type pickResult struct {
+	wk    *worker
+	probe bool // the pick holds its worker's half-open breaker trial slot
+	// saturated: some breaker-admitting live candidate was skipped at its
+	// in-flight cap. affineCut names why the ring-affine worker (order[0])
+	// was passed over — "saturated" or "breaker" — which is exactly the
+	// hedge trigger; a dead affine worker is plain failover, not a hedge.
+	saturated bool
+	affineCut string
+}
+
+// pickWorker scans order for the next routable candidate starting at
+// *start — skipping dead workers and open breakers, acquiring an
+// in-flight slot — wrapping so a lone worker still gets every attempt.
+// exclude (may be nil) is never picked, which keeps a hedge off the arm
+// it is racing. On success *start advances past the pick.
+func (c *Coordinator) pickWorker(order []*worker, start *int, exclude *worker) pickResult {
+	var res pickResult
+	for scanned := 0; scanned < len(order); scanned++ {
+		pos := (*start + scanned) % len(order)
+		cand := order[pos]
+		if cand == exclude {
+			continue
+		}
+		reason := ""
+		if c.stateOf(cand) == StateDead {
+			reason = "dead"
+		} else if ok, probe := cand.brk.Allow(); !ok {
+			reason = "breaker"
+		} else if !c.acquireSlot(cand) {
+			cand.brk.Cancel(probe)
+			reason = "saturated"
+			res.saturated = true
+		} else {
+			res.wk, res.probe = cand, probe
+			*start += scanned + 1
+			return res
+		}
+		if pos == 0 && res.affineCut == "" && reason != "dead" {
+			res.affineCut = reason
+		}
+	}
+	return res
+}
+
 // routeProxy is the data path: hash the design, walk its ring replicas in
 // preference order, forward, and retry dead or failing workers on the next
-// replica under the fleet's failure budget. Saturation (every live worker
-// at its in-flight cap) sheds with 503.
+// replica — all under the client's deadline. A request displaced from its
+// affine worker by saturation or an open breaker is hedged across two
+// replicas. Saturation of the whole fleet sheds with 503.
 func (c *Coordinator) routeProxy(w http.ResponseWriter, r *http.Request) {
+	// The body is buffered (and capped) exactly once; every retry and every
+	// hedge arm replays these bytes, so a request body that errors midway
+	// can never reach a worker half-sent.
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -355,32 +489,28 @@ func (c *Coordinator) routeProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Deadline propagation: the whole attempt/backoff/hedge walk — not each
+	// attempt — lives under one context, so replica walks can never exceed
+	// the caller's budget. r.Context() folds in client disconnects.
+	ctx := r.Context()
+	if t := clientTimeout(r.URL.Query(), c.cfg.RequestTimeout); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+
 	// Jitter seed derived from the affinity key: deterministic per design,
 	// uncorrelated across designs.
 	rng := rand.New(rand.NewSource(int64(key) ^ 0x5bf03635))
-	ctx := r.Context()
 	var lastErr error
 	idx := 0
 	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
-		// Pick the next live, under-cap candidate in ring preference
-		// order, wrapping so a lone worker still gets every attempt.
-		var wk *worker
-		saturated := false
-		for scanned := 0; scanned < len(order); scanned++ {
-			cand := order[(idx+scanned)%len(order)]
-			if c.stateOf(cand) == StateDead {
-				continue
-			}
-			if !c.acquireSlot(cand) {
-				saturated = true
-				continue
-			}
-			wk = cand
-			idx += scanned + 1
+		if ctx.Err() != nil {
 			break
 		}
-		if wk == nil {
-			if saturated {
+		pick := c.pickWorker(order, &idx, nil)
+		if pick.wk == nil {
+			if pick.saturated {
 				c.metrics.AddShed()
 				writeError(w, http.StatusServiceUnavailable, errors.New("fleet saturated: every live worker is at its in-flight cap"))
 				return
@@ -391,27 +521,58 @@ func (c *Coordinator) routeProxy(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 
-		resp, err := c.forward(r, wk, body)
+		// Hedged read: the affine worker was passed over while merely busy
+		// (saturated or breaker-open), so its replica's cache is cold for
+		// this design — race the next replica and take whichever answers
+		// first. Only on the first attempt; retries are already failover.
+		if attempt == 1 && pick.affineCut != "" {
+			hedgeIdx := idx
+			if hedge := c.pickWorker(order, &hedgeIdx, pick.wk); hedge.wk != nil {
+				winner, hErr := c.raceHedge(ctx, r, body, pick, hedge)
+				if winner != nil {
+					c.metrics.AddRouted(winner.pick.wk.name)
+					c.relay(w, winner.resp)
+					winner.cancel()
+					c.releaseSlot(winner.pick.wk)
+					return
+				}
+				lastErr = hErr
+				c.metrics.AddRetry()
+				if ctx.Err() != nil {
+					break
+				}
+				genjob.Backoff(ctx, c.cfg.BackoffBase, c.cfg.BackoffMax, attempt, rng)
+				continue
+			}
+		}
+
+		resp, err := c.forward(ctx, r, pick.wk, body)
 		if err != nil {
-			c.releaseSlot(wk)
-			c.reportProxyFailure(wk, err)
-			c.metrics.AddRetry()
-			lastErr = fmt.Errorf("worker %s: %w", wk.name, err)
+			c.releaseSlot(pick.wk)
+			lastErr = fmt.Errorf("worker %s: %w", pick.wk.name, err)
 			if ctx.Err() != nil {
+				// Client cancel or deadline, not a worker fault: no health
+				// strike, no breaker strike, and the trial slot goes back.
+				pick.wk.brk.Cancel(pick.probe)
 				break
 			}
+			pick.wk.brk.Failure()
+			c.reportProxyFailure(pick.wk, err)
+			c.metrics.AddRetry()
 			genjob.Backoff(ctx, c.cfg.BackoffBase, c.cfg.BackoffMax, attempt, rng)
 			continue
 		}
-		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusServiceUnavailable {
+		if resp.StatusCode >= 500 {
 			// Worker-side failure or shed: this worker answered, so it is
-			// alive, but the request deserves another replica.
+			// alive (health clears), but it is failing requests (breaker
+			// strikes) and the request deserves another replica.
 			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
-			c.releaseSlot(wk)
-			c.reportProxySuccess(wk)
+			c.releaseSlot(pick.wk)
+			c.reportProxySuccess(pick.wk)
+			pick.wk.brk.Failure()
 			c.metrics.AddRetry()
-			lastErr = fmt.Errorf("worker %s answered %d: %s", wk.name, resp.StatusCode, strings.TrimSpace(string(b)))
+			lastErr = fmt.Errorf("worker %s answered %d: %s", pick.wk.name, resp.StatusCode, strings.TrimSpace(string(b)))
 			if ctx.Err() != nil {
 				break
 			}
@@ -421,26 +582,27 @@ func (c *Coordinator) routeProxy(w http.ResponseWriter, r *http.Request) {
 
 		// Success (including worker-side 4xx, which is the client's
 		// problem, not the fleet's): relay verbatim.
-		c.reportProxySuccess(wk)
-		c.metrics.AddRouted(wk.name)
+		c.reportProxySuccess(pick.wk)
+		pick.wk.brk.Success()
+		c.metrics.AddRouted(pick.wk.name)
 		c.relay(w, resp)
-		c.releaseSlot(wk)
+		c.releaseSlot(pick.wk)
 		return
 	}
 	status := http.StatusBadGateway
-	if errors.Is(ctx.Err(), lastErr) || ctx.Err() != nil {
+	if ctx.Err() != nil {
 		status = http.StatusGatewayTimeout
 	}
 	writeError(w, status, fmt.Errorf("fleet: request failed after %d attempt(s): %w", c.cfg.MaxAttempts, lastErr))
 }
 
-// forward replays the buffered request against one worker.
-func (c *Coordinator) forward(r *http.Request, wk *worker, body []byte) (*http.Response, error) {
+// forward replays the buffered request against one worker under ctx.
+func (c *Coordinator) forward(ctx context.Context, r *http.Request, wk *worker, body []byte) (*http.Response, error) {
 	u := wk.url + r.URL.Path
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -484,7 +646,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing \"url\""))
 		return
 	}
-	changed, err := c.addWorker(req.Name, req.URL, false)
+	changed, err := c.addWorker(req.Name, req.URL, false, true)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -501,7 +663,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !c.removeWorker(name) {
+	if !c.removeWorker(name, true) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown worker %q", name))
 		return
 	}

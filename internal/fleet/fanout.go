@@ -225,6 +225,13 @@ func (c *Coordinator) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("creating job directory: %w", err))
 		return
 	}
+	// Journal the submission before the job exists anywhere else: a crash
+	// from here on leaves a submit record with no terminal record, which is
+	// exactly what makes the restarted coordinator resume it.
+	if err := c.journal.append(journalRecord{Op: opJobSubmit, Job: id, OutDir: outDir, Req: &req}); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("journaling job: %w", err))
+		return
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &fleetJob{
 		id:           id,
@@ -255,9 +262,82 @@ func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v.(*fleetJob).status())
 }
 
+// resumeJobs re-creates journaled jobs after a restart: finished jobs
+// reappear in status queries, and every job whose last journal record is
+// the submission resumes — its genjob manifest re-ships only the shards
+// that are missing or corrupt, so the merged dataset comes out
+// byte-identical to an uninterrupted run.
+func (c *Coordinator) resumeJobs(st *replayState) {
+	var maxSeq int64
+	for _, id := range st.order {
+		var seq int64
+		if _, err := fmt.Sscanf(id, "fleet-%d", &seq); err == nil && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	c.jobsSeq.Store(maxSeq)
+	for _, id := range st.order {
+		rec := st.jobs[id]
+		job := &fleetJob{
+			id:           id,
+			created:      time.Now(),
+			outDir:       rec.OutDir,
+			cancel:       func() {},
+			state:        "queued",
+			shardWorkers: make(map[string]int),
+		}
+		if rec.Req != nil {
+			job.budget = rec.Req.FailureBudget
+		}
+		var start func()
+		switch {
+		case rec.Op == opJobDone:
+			job.state = "done"
+			job.started, job.finished = job.created, job.created
+			job.datasetFile = rec.File
+		case rec.Op == opJobFailed:
+			job.state = "failed"
+			job.started, job.finished = job.created, job.created
+			job.errMsg = rec.Err
+		case rec.Req == nil:
+			job.state = "failed"
+			job.started, job.finished = job.created, job.created
+			job.errMsg = "journal lost the job request"
+		default:
+			names, dcfg, err := fleetSweepConfig(*rec.Req)
+			if err != nil {
+				job.state = "failed"
+				job.started, job.finished = job.created, job.created
+				job.errMsg = err.Error()
+				break
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			job.cancel = cancel
+			req := *rec.Req
+			start = func() { go c.runFleetJob(ctx, job, req, names, dcfg) }
+		}
+		c.jobs.Store(id, job)
+		if start != nil {
+			start()
+		}
+	}
+}
+
 // runFleetJob drives one sweep: plan, ship every shard not already
 // journaled done, then merge with the stock genjob machinery.
 func (c *Coordinator) runFleetJob(ctx context.Context, job *fleetJob, req DatasetJobRequest, names []string, dcfg dataset.Config) {
+	defer func() {
+		// Journal the terminal state once it settles (this runs after the
+		// recover below). A crash or cancel before this point leaves the
+		// submit record as the job's last word, so a journal-replaying
+		// restart resumes it.
+		switch st := job.status(); st.State {
+		case "done":
+			c.journal.append(journalRecord{Op: opJobDone, Job: job.id, File: st.DatasetFile})
+		case "failed":
+			c.journal.append(journalRecord{Op: opJobFailed, Job: job.id, Err: st.Error})
+		}
+	}()
 	defer job.cancel()
 	defer func() {
 		if p := recover(); p != nil {
@@ -429,34 +509,29 @@ func (c *Coordinator) shipShard(ctx context.Context, job *fleetJob, req DatasetJ
 			}
 			break
 		}
-		// Next live candidate in ring preference order. Unlike the request
-		// path, saturation does not shed — a sweep would rather wait for a
-		// slot than fail a shard.
-		var wk *worker
-		for scanned := 0; scanned < len(order); scanned++ {
-			cand := order[(idx+scanned)%len(order)]
-			if c.stateOf(cand) == StateDead {
-				continue
-			}
-			if !c.acquireSlot(cand) {
-				continue
-			}
-			wk = cand
-			idx += scanned + 1
-			break
-		}
+		// Next live candidate in ring preference order, sharing the request
+		// path's breaker-aware scan. Unlike the request path, saturation
+		// does not shed — a sweep would rather wait for a slot than fail a
+		// shard.
+		pick := c.pickWorker(order, &idx, nil)
 		attempt++
-		if wk == nil {
+		if pick.wk == nil {
 			lastErr = errors.New("no live worker with a free slot")
 			c.noteShardRetry(job)
 			genjob.Backoff(ctx, c.cfg.BackoffBase, c.cfg.BackoffMax, attempt, rng)
 			continue
 		}
+		wk := pick.wk
 		frame, err := c.execShardOn(ctx, wk, body)
 		c.releaseSlot(wk)
 		if err != nil {
 			if isTransport(err) {
 				c.reportProxyFailure(wk, err)
+				wk.brk.Failure()
+			} else {
+				// The worker answered (a non-200): transport-wise it is
+				// serving, so the breaker stays closed.
+				wk.brk.Success()
 			}
 			lastErr = fmt.Errorf("worker %s: %w", wk.name, err)
 			c.noteShardRetry(job)
@@ -464,6 +539,7 @@ func (c *Coordinator) shipShard(ctx context.Context, job *fleetJob, req DatasetJ
 			continue
 		}
 		c.reportProxySuccess(wk)
+		wk.brk.Success()
 		// Full verification before the frame touches disk: magic, shard id,
 		// checksum, decode, spec and fingerprint agreement.
 		sha, err := genjob.VerifyShardBytes(frame, wk.name, sp, fp)

@@ -53,6 +53,11 @@ type worker struct {
 	// taking the coordinator lock.
 	inflight atomic.Int64
 
+	// brk is the worker's circuit breaker: request-path failures trip it,
+	// a successful request or /healthz probe closes it. Self-locking,
+	// touched without the coordinator lock.
+	brk *breaker
+
 	// Guarded by the coordinator's mu.
 	state       WorkerState
 	consecFails int
@@ -73,6 +78,7 @@ type WorkerStatus struct {
 	Name           string  `json:"name"`
 	URL            string  `json:"url"`
 	State          string  `json:"state"`
+	Breaker        string  `json:"breaker"`
 	Static         bool    `json:"static,omitempty"`
 	ConsecFails    int     `json:"consec_fails,omitempty"`
 	LastErr        string  `json:"last_err,omitempty"`
@@ -155,8 +161,13 @@ func (c *Coordinator) probe(w *worker) {
 	c.recordProbe(w, &h, nil)
 }
 
-// recordProbe applies one probe outcome to the worker's state machine.
+// recordProbe applies one probe outcome to the worker's state machine,
+// including the breaker's probe-driven close path (a successful probe
+// stands in for the half-open trial once the cooldown elapses).
 func (c *Coordinator) recordProbe(w *worker, h *workerHealthz, err error) {
+	if err == nil {
+		w.brk.ProbeSuccess()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w.lastProbe = time.Now()
@@ -229,6 +240,7 @@ func (c *Coordinator) workerStatuses() []WorkerStatus {
 			Name:           w.name,
 			URL:            w.url,
 			State:          w.state.String(),
+			Breaker:        w.brk.State().String(),
 			Static:         w.static,
 			ConsecFails:    w.consecFails,
 			LastErr:        w.lastErr,

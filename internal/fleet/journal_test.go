@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalRoundTrip appends a membership and job history, reopens the
+// file, and checks the replay reconstructs the surviving state.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coordinator.journal")
+	j, st, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.applied != 0 || len(st.workers) != 0 {
+		t.Fatalf("fresh journal replayed state: %+v", st)
+	}
+	req := &DatasetJobRequest{Circuits: []string{"rc16"}, MapsPerCircuit: 4, Shards: 2, Seed: 9}
+	records := []journalRecord{
+		{Op: opWorkerAdd, Name: "w1", URL: "http://h1:1"},
+		{Op: opWorkerAdd, Name: "w2", URL: "http://h2:1"},
+		{Op: opWorkerRemove, Name: "w1"},
+		{Op: opWorkerAdd, Name: "w1", URL: "http://h1:9"}, // re-registered on a new port
+		{Op: opJobSubmit, Job: "fleet-0001", OutDir: "/jobs/fleet-0001", Req: req},
+		{Op: opJobSubmit, Job: "fleet-0002", OutDir: "/jobs/fleet-0002", Req: req},
+		{Op: opJobDone, Job: "fleet-0001", File: "/jobs/fleet-0001/dataset.gob"},
+	}
+	for _, r := range records {
+		if err := j.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, st2, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if st2.applied != len(records) || st2.dropped != 0 {
+		t.Fatalf("replay applied %d dropped %d, want %d/0", st2.applied, st2.dropped, len(records))
+	}
+	if len(st2.workers) != 2 {
+		t.Fatalf("membership = %d workers, want 2", len(st2.workers))
+	}
+	if got := st2.workers["w1"].URL; got != "http://h1:9" {
+		t.Fatalf("w1 URL = %q, want last-record-wins http://h1:9", got)
+	}
+	if got := []string{"fleet-0001", "fleet-0002"}; len(st2.order) != 2 || st2.order[0] != got[0] || st2.order[1] != got[1] {
+		t.Fatalf("job order = %v, want %v", st2.order, got)
+	}
+	if st2.jobs["fleet-0001"].Op != opJobDone {
+		t.Fatal("finished job did not keep its terminal record")
+	}
+	// Terminal records inherit the submit's request so status survives.
+	if r := st2.jobs["fleet-0001"]; r.Req == nil || r.Req.Seed != 9 || r.OutDir != "/jobs/fleet-0001" {
+		t.Fatalf("terminal record lost the submit context: %+v", r)
+	}
+	if st2.jobs["fleet-0002"].Op != opJobSubmit {
+		t.Fatal("unfinished job lost its submit record")
+	}
+}
+
+// TestJournalTornAndCorruptLines pins crash tolerance: a torn trailing
+// line (SIGKILL mid-append) and a bit-flipped line are both dropped
+// without poisoning the rest of the replay.
+func TestJournalTornAndCorruptLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coordinator.journal")
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalRecord{Op: opWorkerAdd, Name: "w1", URL: "http://h1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalRecord{Op: opWorkerAdd, Name: "w2", URL: "http://h2:1"}); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+
+	// Flip a byte inside w2's URL (keeps valid JSON, breaks the CRC) and
+	// append a torn half-record.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := []byte(string(b))
+	idx := -1
+	for i := range mut {
+		if string(mut[i:i+2]) == "h2" {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("marker not found")
+	}
+	mut[idx] = 'x'
+	mut = append(mut, []byte(`{"op":"worker-add","name":"w3","url":"http`)...)
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, st, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if st.dropped != 2 {
+		t.Fatalf("dropped %d records, want 2 (corrupt + torn)", st.dropped)
+	}
+	if len(st.workers) != 1 || st.workers["w1"].URL != "http://h1:1" {
+		t.Fatalf("surviving membership = %+v, want just w1", st.workers)
+	}
+}
+
+// TestJournalRejectsForeignFile refuses to replay a file that is not a
+// coordinator journal.
+func TestJournalRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	rec := journalRecord{Op: opWorkerAdd, Name: "w1"}
+	sum, err := rec.checksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Sum = sum
+	b, _ := json.Marshal(rec)
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openJournal(path); err == nil {
+		t.Fatal("openJournal accepted a file without the journal header")
+	}
+}

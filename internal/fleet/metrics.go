@@ -18,6 +18,10 @@ type Metrics struct {
 	retriesTotal   int64
 	shedTotal      int64
 	deathsTotal    int64
+	hedgesTotal    int64
+	hedgeWinsByArm map[string]int64
+	breakerOpens   int64
+	journalReplays int64
 	routedByWorker map[string]int64
 	shardsByResult map[string]int64
 
@@ -31,9 +35,56 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		start:          time.Now(),
+		hedgeWinsByArm: make(map[string]int64),
 		routedByWorker: make(map[string]int64),
 		shardsByResult: make(map[string]int64),
 	}
+}
+
+// AddHedge counts one hedged read: a request raced across two replicas
+// because its affine worker was saturated or breaker-open.
+func (m *Metrics) AddHedge() {
+	m.mu.Lock()
+	m.hedgesTotal++
+	m.mu.Unlock()
+}
+
+// AddHedgeWin counts which arm ("primary" or "hedge") answered a hedged
+// read first.
+func (m *Metrics) AddHedgeWin(arm string) {
+	m.mu.Lock()
+	m.hedgeWinsByArm[arm]++
+	m.mu.Unlock()
+}
+
+// Hedges returns the hedged-read count (tests).
+func (m *Metrics) Hedges() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hedgesTotal
+}
+
+// breakerOpened counts one closed/half-open → open breaker transition;
+// installed as the per-worker breaker observer.
+func (m *Metrics) breakerOpened() {
+	m.mu.Lock()
+	m.breakerOpens++
+	m.mu.Unlock()
+}
+
+// addJournalReplays counts records replayed from the coordinator journal
+// at startup.
+func (m *Metrics) addJournalReplays(n int64) {
+	m.mu.Lock()
+	m.journalReplays += n
+	m.mu.Unlock()
+}
+
+// JournalReplays returns the replayed-record count (tests).
+func (m *Metrics) JournalReplays() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journalReplays
 }
 
 // AddRetry counts one rerouted request or re-shipped dataset shard.
@@ -73,6 +124,13 @@ func (m *Metrics) workerDied() {
 	m.mu.Unlock()
 }
 
+// Deaths returns the worker-death count (tests).
+func (m *Metrics) Deaths() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.deathsTotal
+}
+
 // Retries returns the fleet-level retry count (tests, health report).
 func (m *Metrics) Retries() int64 {
 	m.mu.Lock()
@@ -84,6 +142,11 @@ func (m *Metrics) Retries() int64 {
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	m.mu.Lock()
 	retries, shed, deaths := m.retriesTotal, m.shedTotal, m.deathsTotal
+	hedges, breakerOpens, journalReplays := m.hedgesTotal, m.breakerOpens, m.journalReplays
+	hedgeWins := make(map[string]int64, len(m.hedgeWinsByArm))
+	for k, v := range m.hedgeWinsByArm {
+		hedgeWins[k] = v
+	}
 	routed := make(map[string]int64, len(m.routedByWorker))
 	for k, v := range m.routedByWorker {
 		routed[k] = v
@@ -115,6 +178,24 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP slap_fleet_worker_deaths_total Workers declared dead after consecutive failures.")
 	fmt.Fprintln(w, "# TYPE slap_fleet_worker_deaths_total counter")
 	fmt.Fprintf(w, "slap_fleet_worker_deaths_total %d\n", deaths)
+
+	fmt.Fprintln(w, "# HELP slap_fleet_hedges_total Reads raced across two replicas because the affine worker was saturated or breaker-open.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_hedges_total counter")
+	fmt.Fprintf(w, "slap_fleet_hedges_total %d\n", hedges)
+
+	fmt.Fprintln(w, "# HELP slap_fleet_hedge_wins_total Hedged reads by which arm answered first.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_hedge_wins_total counter")
+	for _, arm := range sortedKeys(hedgeWins) {
+		fmt.Fprintf(w, "slap_fleet_hedge_wins_total{arm=%q} %d\n", arm, hedgeWins[arm])
+	}
+
+	fmt.Fprintln(w, "# HELP slap_fleet_breaker_opens_total Circuit-breaker trips (closed or half-open to open).")
+	fmt.Fprintln(w, "# TYPE slap_fleet_breaker_opens_total counter")
+	fmt.Fprintf(w, "slap_fleet_breaker_opens_total %d\n", breakerOpens)
+
+	fmt.Fprintln(w, "# HELP slap_fleet_journal_replays_total Journal records replayed at coordinator startup.")
+	fmt.Fprintln(w, "# TYPE slap_fleet_journal_replays_total counter")
+	fmt.Fprintf(w, "slap_fleet_journal_replays_total %d\n", journalReplays)
 
 	fmt.Fprintln(w, "# HELP slap_fleet_routed_requests_total Requests relayed to each worker.")
 	fmt.Fprintln(w, "# TYPE slap_fleet_routed_requests_total counter")
@@ -148,11 +229,28 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		for _, s := range sts {
 			fmt.Fprintf(w, "slap_fleet_worker_cache_entries{worker=%q} %d\n", s.Name, s.CacheEntries)
 		}
+		fmt.Fprintln(w, "# HELP slap_fleet_breaker_state Per-worker circuit breaker (0 closed, 1 half-open, 2 open).")
+		fmt.Fprintln(w, "# TYPE slap_fleet_breaker_state gauge")
+		for _, s := range sts {
+			fmt.Fprintf(w, "slap_fleet_breaker_state{worker=%q} %d\n", s.Name, breakerStateValue(s.Breaker))
+		}
 	}
 
 	fmt.Fprintln(w, "# HELP slap_fleet_uptime_seconds Seconds since the coordinator started.")
 	fmt.Fprintln(w, "# TYPE slap_fleet_uptime_seconds gauge")
 	fmt.Fprintf(w, "slap_fleet_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}
+
+// breakerStateValue maps a breaker state name to its gauge value.
+func breakerStateValue(s string) int {
+	switch s {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	default:
+		return 0
+	}
 }
 
 func sortedKeys(m map[string]int64) []string {

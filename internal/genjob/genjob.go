@@ -98,6 +98,11 @@ const (
 	// journaling it as done — the on-disk state a kill mid-write or a
 	// torn copy leaves behind. Verification must catch it and re-run.
 	FaultTruncate
+	// FaultCorrupt executes the shard but flips one payload byte on disk
+	// without touching the frame header — the on-disk state bit rot or a
+	// corrupting transport leaves behind. The length and magic still look
+	// right, so only the SHA-256 self-check can catch it.
+	FaultCorrupt
 )
 
 // FaultFunc is the fault-injection hook: it is consulted once per shard
@@ -450,12 +455,8 @@ func runShard(ctx context.Context, cfg *Config, man *manifest, fp string, sp Spe
 			if encErr != nil {
 				return retries, encErr
 			}
-			truncateAt := 0
-			if fault == FaultTruncate {
-				truncateAt = len(payload) / 2
-			}
 			file := shardFileName(sp.Shard)
-			if werr := writeShardFile(filepath.Join(cfg.OutDir, file), sp.Shard, payload, truncateAt); werr != nil {
+			if werr := writeShardFile(filepath.Join(cfg.OutDir, file), sp.Shard, payload, fault); werr != nil {
 				err = werr
 			} else if merr := man.record(manifestEntry{Shard: sp.Shard, Status: "done", File: file, SHA: sha, Attempts: attempt}); merr != nil {
 				return retries, merr

@@ -285,6 +285,33 @@ func TestTruncatedWriteDetected(t *testing.T) {
 	assertIdentical(t, ds, reference(t))
 }
 
+// TestCorruptByteDetected injects a single flipped payload byte under an
+// intact frame header — length and magic still look right — and checks
+// the SHA-256 self-check catches it and the re-run converges on the
+// reference dataset anyway.
+func TestCorruptByteDetected(t *testing.T) {
+	var mu sync.Mutex
+	fired := false
+	cfg := testConfig(t.TempDir(), 4)
+	cfg.Fault = func(shard, attempt int) FaultKind {
+		mu.Lock()
+		defer mu.Unlock()
+		if shard == 1 && !fired {
+			fired = true
+			return FaultCorrupt
+		}
+		return FaultNone
+	}
+	ds, rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt == 0 {
+		t.Fatalf("corrupt-byte shard was merged silently: %+v", rep)
+	}
+	assertIdentical(t, ds, reference(t))
+}
+
 // TestFailureBudget exhausts one shard's attempts: budget 0 fails the job,
 // budget 1 degrades to a dataset missing exactly that shard's mappings.
 func TestFailureBudget(t *testing.T) {

@@ -67,13 +67,22 @@ func frameShard(shard int, payload []byte) []byte {
 
 // writeShardFile persists an encoded shard payload. The write is atomic
 // (temp file + rename) so a crash mid-write leaves a stray .tmp file,
-// never a plausible-looking half shard. truncateAt > 0 is the
-// fault-injection path: it writes only that many payload bytes directly
-// to the final path, simulating a kill mid-write or a torn copy.
-func writeShardFile(path string, shard int, payload []byte, truncateAt int) error {
+// never a plausible-looking half shard. FaultTruncate and FaultCorrupt
+// are the fault-injection paths: a truncated write simulates a kill
+// mid-write or torn copy, a corrupted one flips a payload byte under an
+// intact header so only the SHA-256 self-check can catch it.
+func writeShardFile(path string, shard int, payload []byte, fault FaultKind) error {
 	framed := frameShard(shard, payload)
-	if truncateAt > 0 && truncateAt < len(payload) {
-		return os.WriteFile(path, framed[:shardHeaderSize+truncateAt], 0o644)
+	switch fault {
+	case FaultTruncate:
+		if cut := len(payload) / 2; cut > 0 {
+			return os.WriteFile(path, framed[:shardHeaderSize+cut], 0o644)
+		}
+	case FaultCorrupt:
+		if len(payload) > 0 {
+			framed[shardHeaderSize+len(payload)/3] ^= 0x40
+			return os.WriteFile(path, framed, 0o644)
+		}
 	}
 	return writeFramedShard(path, framed)
 }
