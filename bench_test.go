@@ -233,6 +233,39 @@ func BenchmarkEndToEndSLAPMap(b *testing.B) {
 	})
 }
 
+// BenchmarkMultiRoundMap compares the classic single-pass SLAP map against
+// the 4-round engine (area-flow recovery + exact-area, with and without a
+// choice view) on the same circuit — the per-round cost of the recovery
+// rounds rides on the one enumeration+inference pass, so the marginal time
+// and allocation of extra rounds is the interesting number.
+func BenchmarkMultiRoundMap(b *testing.B) {
+	tr := sharedTraining(b)
+	g := circuits.ArrayMultiplier(8)
+	pool := cuts.NewPool(1)
+	for _, tc := range []struct {
+		name    string
+		rounds  int
+		choices bool
+	}{
+		{"rounds1", 1, false},
+		{"rounds4", 4, false},
+		{"rounds4choices", 4, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			s := *tr.SLAP
+			s.Rounds = tc.rounds
+			s.Choices = tc.choices
+			s.Pool = pool
+			for i := 0; i < b.N; i++ {
+				if _, err := s.MapStream(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTrainingDataGeneration isolates the random-shuffle mapping
 // data-generation loop of §IV-B.
 func BenchmarkTrainingDataGeneration(b *testing.B) {

@@ -7,11 +7,19 @@
 //	slap -circuit AES -policy slap -model model.gob
 //	slap -aag design.aag -policy unlimited -verify
 //	slap -aag edited.aag -baseline original.aag -policy default
+//	slap -circuit adder -policy slap -model model.gob -rounds 4 -choices
 //
 // Circuits are either built-in Table II generators (-circuit, sized by
 // -profile) or ASCII AIGER files (-aag). Policies: default (vanilla ABC
 // heuristic), unlimited (all cuts), shuffle (random, -seed), slap (ML
 // filtering, requires -model).
+//
+// -rounds N runs the multi-round engine: round 1 is the classic
+// delay-optimal pass, later rounds re-select the cover by area flow under
+// required times frozen from the round-1 delay (scaled by -delay-factor),
+// and the final round adds an exact-area refinement. -choices additionally
+// maps over a structural-choice view, so Boolean matching sees the union of
+// each node's rewrite variants.
 //
 // -baseline runs an offline ECO: the baseline circuit is mapped first
 // (capturing a cut snapshot), then the subject graph is delta-remapped
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"slap/internal/aig"
+	"slap/internal/choice"
 	"slap/internal/core"
 	"slap/internal/cuts"
 	"slap/internal/experiments"
@@ -59,6 +68,9 @@ func main() {
 		verilogOut  = flag.String("verilog", "", "write the mapped netlist as structural Verilog to this file")
 		blifOut     = flag.String("blif", "", "write the mapped netlist as BLIF to this file")
 		report      = flag.Bool("report", false, "print the critical-path timing report")
+		rounds      = flag.Int("rounds", 1, "selection rounds: 1 = classic single pass, N > 1 adds area-recovery rounds under the round-1 delay (exact-area last)")
+		delayFactor = flag.Float64("delay-factor", 1.0, "required-time slack for recovery rounds, as a multiple of the round-1 delay (<= 1 pins the round-1 optimum)")
+		choices     = flag.Bool("choices", false, "map over a structural-choice view: matching sees the union of each node's rewrite variants")
 	)
 	flag.Parse()
 
@@ -68,6 +80,7 @@ func main() {
 		seed: *seed, limit: *limit, workers: *workers, batch: *batch, batchWait: *batchWait,
 		streaming: *streaming, verify: *verify, list: *listNames,
 		cells: *showCells, verilog: *verilogOut, blif: *blifOut, report: *report,
+		rounds: *rounds, delayFactor: *delayFactor, choices: *choices,
 		stdin: os.Stdin,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "slap:", err)
@@ -84,6 +97,9 @@ type runConfig struct {
 	streaming                                           bool
 	verify, list, cells, report                         bool
 	verilog, blif                                       string
+	rounds                                              int
+	delayFactor                                         float64
+	choices                                             bool
 	// stdin backs -aag "-"; nil falls back to os.Stdin.
 	stdin io.Reader
 }
@@ -124,22 +140,41 @@ func run(cfg runConfig) error {
 
 	var res *mapper.Result
 	if cfg.baseline != "" {
+		if cfg.rounds > 1 || cfg.choices {
+			return fmt.Errorf("-baseline delta-remaps against a single-round snapshot; it is incompatible with -rounds > 1 and -choices")
+		}
 		res, err = runECO(cfg, g, lib)
 		if err != nil {
 			return err
 		}
 		return printResult(cfg, g, res)
 	}
+	// -choices maps a combined choice view instead of the subject graph; the
+	// view shares the subject's PIs/POs, so verification below still runs
+	// against the original circuit.
+	mg := g
+	var chSrc cuts.ChoiceSource
+	if cfg.choices {
+		v := choice.Build(g, choice.Options{})
+		mg, chSrc = v.G, v
+	}
+	opt := mapper.Options{
+		Library: lib, Workers: cfg.workers,
+		Rounds: cfg.rounds, DelayFactor: cfg.delayFactor, Choices: chSrc,
+	}
 	switch policyName {
 	case "default":
-		res, err = mapASIC(g, mapper.Options{Library: lib, Policy: cuts.DefaultPolicy{Limit: limit}, Workers: cfg.workers})
+		opt.Policy = cuts.DefaultPolicy{Limit: limit}
+		res, err = mapASIC(mg, opt)
 	case "unlimited":
-		res, err = mapASIC(g, mapper.Options{Library: lib, Policy: cuts.UnlimitedPolicy{}, Workers: cfg.workers})
+		opt.Policy = cuts.UnlimitedPolicy{}
+		res, err = mapASIC(mg, opt)
 	case "shuffle":
-		res, err = mapASIC(g, mapper.Options{Library: lib, Policy: &cuts.ShufflePolicy{
+		opt.Policy = &cuts.ShufflePolicy{
 			Rng:   rand.New(rand.NewSource(seed)),
 			Limit: limit,
-		}, Workers: cfg.workers})
+		}
+		res, err = mapASIC(mg, opt)
 	case "slap":
 		if modelPath == "" {
 			return fmt.Errorf("-policy slap requires -model (train one with slap-train)")
@@ -151,6 +186,9 @@ func run(cfg runConfig) error {
 		}
 		s := core.New(model, lib)
 		s.Workers = cfg.workers
+		s.Rounds = cfg.rounds
+		s.DelayFactor = cfg.delayFactor
+		s.Choices = cfg.choices
 		if cfg.batch >= 0 {
 			// All mapping workers funnel through one coalescer, so a node's
 			// cuts merge with other nodes' into shared GEMM passes. The
@@ -185,6 +223,10 @@ func printResult(cfg runConfig, g *aig.AIG, res *mapper.Result) error {
 	fmt.Printf("ADP:     %.1f\n", res.ADP())
 	fmt.Printf("cells:   %d\n", res.Netlist.NumCells())
 	fmt.Printf("cuts:    %d considered (peak %d live), %d match attempts\n", res.CutsConsidered, res.PeakCuts, res.MatchAttempts)
+	for _, st := range res.RoundStats {
+		fmt.Printf("round %d: %-15s est area %.2f, est delay %.2f (%d cuts, %d match attempts)\n",
+			st.Round, st.Mode, st.EstArea, st.EstDelay, st.CutsConsidered, st.MatchAttempts)
+	}
 	if cfg.cells {
 		for name, n := range res.Netlist.CellCounts() {
 			fmt.Printf("  %-10s %d\n", name, n)

@@ -1,0 +1,393 @@
+// Package choice builds choice views over AIGs: several structurally
+// distinct but functionally equivalent variants of a subject graph (produced
+// by internal/opt rewrites) are grafted into one combined AIG, functional
+// equivalence classes are proposed by packed-pattern simulation signatures
+// and proven by an embedded CDCL SAT check (see sat.go), and the result is
+// exposed as a cuts.ChoiceSource so the enumerator can match the union of
+// every class member's cuts — the "choice network" of ABC's &if -C and
+// also's choice_lut_mapper.
+//
+// The combined graph shares the base graph's PIs (same count, order and
+// names) and takes its POs from the base image, so a netlist mapped over the
+// view verifies directly against the original graph. The base is grafted
+// last: structural hashing dedupes shared logic, and any node of a variant
+// that is structurally distinct from its base equivalent keeps a smaller id
+// and (for balance-style variants) a no-greater level — which is what makes
+// it eligible as a choice member under the enumerator's id/level rule.
+package choice
+
+import (
+	"math/rand"
+	"sort"
+
+	"slap/internal/aig"
+	"slap/internal/cuts"
+	"slap/internal/opt"
+)
+
+// Options tunes view construction. The zero value picks the defaults.
+type Options struct {
+	// Variants is the number of seeded balance variants grafted in addition
+	// to the deterministic Optimize variant. Default 2.
+	Variants int
+	// Seed drives the seeded rewrites and the random simulation patterns.
+	// Default 1.
+	Seed int64
+	// MaxMembers caps the member list attached to any single node. Default 8.
+	MaxMembers int
+	// SimWords is the number of 64-pattern words per signature pass when the
+	// graph has too many PIs for exhaustive simulation. Two independent
+	// passes are always run. Default 16 (2048 random patterns).
+	SimWords int
+	// ProofConflicts is the per-call SAT conflict budget used to prove each
+	// candidate member when simulation is not exhaustive. Members whose
+	// proof does not finish inside the budget are dropped (sound: the view
+	// just offers fewer alternatives). Default 4000.
+	ProofConflicts int64
+}
+
+// exhaustiveMaxPIs bounds exhaustive signature simulation: up to 11 PIs the
+// signature covers all 2^n patterns (<= 32 words) and class membership is a
+// proof, not a probabilistic check.
+const exhaustiveMaxPIs = 11
+
+func (o *Options) fill() {
+	if o.Variants <= 0 {
+		o.Variants = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxMembers <= 0 {
+		o.MaxMembers = 8
+	}
+	if o.SimWords <= 0 {
+		o.SimWords = 16
+	}
+	if o.ProofConflicts <= 0 {
+		o.ProofConflicts = 4000
+	}
+}
+
+// View is a built choice view. It implements cuts.ChoiceSource over G.
+type View struct {
+	// G is the combined graph to enumerate and map; its PIs and POs are the
+	// base graph's (same order, names and semantics).
+	G *aig.AIG
+	// Base is the original subject graph the view was built from.
+	Base *aig.AIG
+
+	members    [][]cuts.ChoiceMember
+	classes    int
+	memberRefs int
+	dropped    int
+	exhaustive bool
+}
+
+// MembersOf returns node n's equivalence-class members, each satisfying
+// id(m) < n, level(m) < level(n). It implements cuts.ChoiceSource.
+func (v *View) MembersOf(n uint32) []cuts.ChoiceMember {
+	if int(n) >= len(v.members) {
+		return nil
+	}
+	return v.members[n]
+}
+
+// Classes returns the number of non-trivial equivalence classes found.
+func (v *View) Classes() int { return v.classes }
+
+// MemberRefs returns the total number of (node, member) enrichment edges.
+func (v *View) MemberRefs() int { return v.memberRefs }
+
+// DroppedMembers returns the number of candidate members discarded because
+// their SAT proof failed or exceeded the conflict budget.
+func (v *View) DroppedMembers() int { return v.dropped }
+
+// Exhaustive reports whether class membership was proven by exhaustive
+// simulation (true iff the base has <= 11 PIs).
+func (v *View) Exhaustive() bool { return v.exhaustive }
+
+// Build constructs a choice view of base: rewrite variants, graft them and
+// the base into a combined strashed graph, and class the combined nodes by
+// simulation signature. Construction is deterministic for a given (base,
+// Options) pair, which keeps multi-round mapping byte-identical across
+// workers and cache keys stable.
+func Build(base *aig.AIG, o Options) *View {
+	o.fill()
+
+	swept := opt.Sweep(base)
+	variants := make([]*aig.AIG, 0, 1+o.Variants)
+	variants = append(variants, opt.Sweep(opt.Balance(swept)))
+	for i := 0; i < o.Variants; i++ {
+		variants = append(variants, opt.Sweep(opt.BalanceSeeded(swept, o.Seed+int64(i)*0x9e3779b9)))
+	}
+
+	comb := aig.New(base.Name)
+	piLits := make([]aig.Lit, base.NumPIs())
+	for i := range piLits {
+		piLits[i] = comb.AddPI(base.PIName(i))
+	}
+	for _, v := range variants {
+		graft(comb, piLits, v)
+	}
+	baseMap := graft(comb, piLits, base)
+	mapLit := func(l aig.Lit) aig.Lit {
+		if l.Node() == 0 {
+			return l
+		}
+		return baseMap[l.Node()].NotIf(l.IsCompl())
+	}
+	for _, po := range base.POs() {
+		comb.AddPO(po.Name, mapLit(po.Lit))
+	}
+
+	view := &View{G: comb, Base: base, members: make([][]cuts.ChoiceMember, comb.NumNodes())}
+	view.buildClasses(o)
+	return view
+}
+
+// graft copies the PO-reachable logic of v into comb, mapping v's PIs to
+// piLits positionally, and returns v's old->new literal map. Structural
+// hashing inside comb.And dedupes any logic already grafted.
+func graft(comb *aig.AIG, piLits []aig.Lit, v *aig.AIG) []aig.Lit {
+	old2new := make([]aig.Lit, v.NumNodes())
+	for i := range old2new {
+		old2new[i] = ^aig.Lit(0)
+	}
+	for i, pi := range v.PIs() {
+		old2new[pi] = piLits[i]
+	}
+
+	needed := make([]bool, v.NumNodes())
+	var stack []uint32
+	push := func(n uint32) {
+		if v.IsAnd(n) && !needed[n] {
+			needed[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for _, po := range v.POs() {
+		push(po.Lit.Node())
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		f0, f1 := v.Fanins(n)
+		push(f0.Node())
+		push(f1.Node())
+	}
+
+	mapLit := func(l aig.Lit) aig.Lit {
+		if l.Node() == 0 {
+			return l
+		}
+		return old2new[l.Node()].NotIf(l.IsCompl())
+	}
+	for n := uint32(1); n < uint32(v.NumNodes()); n++ {
+		if needed[n] {
+			f0, f1 := v.Fanins(n)
+			old2new[n] = comb.And(mapLit(f0), mapLit(f1))
+		}
+	}
+	return old2new
+}
+
+// buildClasses computes per-node simulation signatures of the combined
+// graph, groups equal canonical signatures (polarity folded out) into
+// classes, and materialises each AND node's eligible member list.
+func (v *View) buildClasses(o Options) {
+	g := v.G
+	numNodes := g.NumNodes()
+	if numNodes <= 1 {
+		return
+	}
+
+	var words int
+	exhaustive := g.NumPIs() <= exhaustiveMaxPIs
+	if exhaustive {
+		words = 1
+		if g.NumPIs() > 6 {
+			words = 1 << (g.NumPIs() - 6)
+		}
+	} else {
+		// Two independent random passes, concatenated: a collision must
+		// survive both to create a false class.
+		words = 2 * o.SimWords
+	}
+	v.exhaustive = exhaustive
+
+	sigs := make([]uint64, numNodes*words)
+	rng := rand.New(rand.NewSource(o.Seed ^ 0x5deece66d))
+	piVals := make([]uint64, g.NumPIs())
+	for w := 0; w < words; w++ {
+		for i := range piVals {
+			if exhaustive {
+				piVals[i] = exhaustiveWord(i, w)
+			} else {
+				piVals[i] = rng.Uint64()
+			}
+		}
+		vals := g.SimulateNodes(piVals)
+		for n := 0; n < numNodes; n++ {
+			sigs[n*words+w] = vals[n]
+		}
+	}
+
+	// Canonicalise polarity: a node whose pattern-0 value is 1 is stored
+	// complemented, so n and NOT(n) land in the same class with pol
+	// recording which phase each is in.
+	pol := make([]bool, numNodes)
+	mask := ^uint64(0)
+	if exhaustive && g.NumPIs() < 6 {
+		mask = (1 << (1 << g.NumPIs())) - 1
+	}
+	for n := 0; n < numNodes; n++ {
+		s := sigs[n*words : (n+1)*words]
+		if s[0]&1 != 0 {
+			pol[n] = true
+			for i := range s {
+				s[i] = ^s[i]
+			}
+		}
+		for i := range s {
+			s[i] &= mask
+		}
+	}
+
+	// Group by signature hash, confirming equality inside each bucket.
+	type bucket struct{ nodes []uint32 }
+	byHash := make(map[uint64]*bucket, numNodes)
+	hashSig := func(s []uint64) uint64 {
+		h := uint64(0xcbf29ce484222325)
+		for _, w := range s {
+			h = (h ^ w) * 0x100000001b3
+		}
+		return h
+	}
+	sigOf := func(n uint32) []uint64 { return sigs[int(n)*words : (int(n)+1)*words] }
+	sigEq := func(a, b []uint64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	isConstSig := func(s []uint64) bool {
+		for _, w := range s {
+			if w != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for n := uint32(1); n < uint32(numNodes); n++ {
+		if !g.IsAnd(n) && !g.IsPI(n) {
+			continue
+		}
+		if isConstSig(sigOf(n)) {
+			continue // constant-valued under the patterns: never a useful choice
+		}
+		h := hashSig(sigOf(n))
+		b := byHash[h]
+		if b == nil {
+			b = &bucket{}
+			byHash[h] = b
+		}
+		b.nodes = append(b.nodes, n)
+	}
+
+	var classes [][]uint32
+	for _, b := range byHash {
+		// Nodes arrive in ascending id (the fill loop runs in id order). A
+		// hash bucket can mix several true classes on collision: peel them
+		// off front to back.
+		nodes := b.nodes
+		for len(nodes) > 1 {
+			ref := sigOf(nodes[0])
+			var class, rest []uint32
+			class = append(class, nodes[0])
+			for _, m := range nodes[1:] {
+				if sigEq(ref, sigOf(m)) {
+					class = append(class, m)
+				} else {
+					rest = append(rest, m)
+				}
+			}
+			if len(class) > 1 {
+				classes = append(classes, class)
+			}
+			nodes = rest
+		}
+	}
+	// Classes from distinct buckets are disjoint, but the map iteration
+	// above is unordered and budget-limited SAT proofs below depend on the
+	// solver's accumulated learned clauses — prove in a fixed order so the
+	// view (and therefore mapping) stays deterministic.
+	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
+
+	// When simulation is exhaustive the signatures are truth tables and
+	// class membership is already a proof. Otherwise a matching signature is
+	// only a proposal — deep circuits have node pairs that agree on every
+	// random pattern yet differ on a rare one — so every candidate member is
+	// discharged by an incremental SAT proof before the mapper may use it.
+	var pr *prover
+	if !exhaustive {
+		pr = newProver(g)
+	}
+	for _, class := range classes {
+		v.addClass(class, pol, pr, o)
+	}
+}
+
+// addClass records the eligible member list of every AND node in one
+// equivalence class: members must have strictly smaller id and strictly
+// smaller level than the node they enrich (see cuts.ChoiceSource), and —
+// unless simulation was exhaustive — each (node, member) pair must be
+// SAT-proven equivalent. Unproven candidates count into dropped.
+func (v *View) addClass(class []uint32, pol []bool, pr *prover, o Options) {
+	g := v.G
+	v.classes++
+	for i, n := range class {
+		if !g.IsAnd(n) {
+			continue
+		}
+		ln := g.Level(n)
+		var ms []cuts.ChoiceMember
+		for _, m := range class[:i] {
+			if g.Level(m) >= ln {
+				continue
+			}
+			compl := pol[m] != pol[n]
+			if pr != nil && !pr.equivalent(n, m, compl, o.ProofConflicts) {
+				v.dropped++
+				continue
+			}
+			ms = append(ms, cuts.ChoiceMember{Node: m, Compl: compl})
+			if len(ms) >= o.MaxMembers {
+				break
+			}
+		}
+		if len(ms) > 0 {
+			v.members[n] = ms
+			v.memberRefs += len(ms)
+		}
+	}
+}
+
+// exhaustiveWord returns the packed value word of PI i for exhaustive
+// pattern word w: the first six PIs cycle inside a word with the canonical
+// truth-table variable masks, higher PIs select on bits of w.
+func exhaustiveWord(i, w int) uint64 {
+	var varMask = [6]uint64{
+		0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
+		0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
+	}
+	if i < 6 {
+		return varMask[i]
+	}
+	if (w>>(i-6))&1 != 0 {
+		return ^uint64(0)
+	}
+	return 0
+}

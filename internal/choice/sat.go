@@ -1,0 +1,397 @@
+// Mini CDCL SAT solver used to prove candidate choice members before the
+// mapper may substitute them. Simulation signatures only *propose*
+// equivalence classes; two nodes of a deep circuit can agree on thousands of
+// random patterns and still differ on a rare one (a long carry chain, a
+// near-constant guard), and a false choice silently corrupts the mapped
+// netlist. So, like ABC's fraiging, every (node, member) pair is discharged
+// by two incremental SAT calls over the combined graph's Tseitin encoding —
+// UNSAT(n=1, m'=0) and UNSAT(n=0, m'=1) — under a conflict budget; anything
+// SAT (truly different) or out of budget (unproven) is dropped. Dropping is
+// always sound: the view just offers fewer alternatives.
+//
+// The solver is deliberately small: two-watched-literal propagation,
+// first-UIP clause learning, phase saving, an activity-bumped decision
+// heuristic and Luby-style restarts. Learned clauses persist across the
+// hundreds of per-pair calls on one graph, which is what makes class
+// proving cheap — members come from rebalanced variants of the same logic,
+// so the strashed miter cones share almost everything.
+package choice
+
+import "slap/internal/aig"
+
+type satResult int8
+
+const (
+	satUnknown satResult = iota // conflict budget exhausted
+	satTrue                     // satisfiable: nodes differ
+	satFalse                    // unsatisfiable
+)
+
+// Literal encoding: variable v yields literals v<<1 (positive) and v<<1|1
+// (negated). Variable i is combined-graph node i; node 0 is constant false.
+type slit uint32
+
+func mkLit(v uint32, neg bool) slit {
+	l := slit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+func (l slit) not() slit     { return l ^ 1 }
+func (l slit) variable() int { return int(l >> 1) }
+func (l slit) sign() bool    { return l&1 != 0 }
+
+const litUndef = ^slit(0)
+
+type sclause struct {
+	lits    []slit
+	learned bool
+}
+
+type satSolver struct {
+	nVars   int
+	clauses []*sclause
+	watches [][]*sclause // literal -> clauses watching it (lits[0] or lits[1])
+
+	assign   []int8 // per var: 0 undef, +1 true, -1 false
+	level    []int32
+	reason   []*sclause
+	phase    []bool // saved phase per var
+	activity []float64
+	varInc   float64
+
+	trail    []slit
+	trailLim []int
+	qhead    int
+
+	seen      []bool // scratch for analyze
+	conflicts int64
+}
+
+func newSatSolver(nVars int) *satSolver {
+	s := &satSolver{
+		nVars:    nVars,
+		watches:  make([][]*sclause, nVars*2),
+		assign:   make([]int8, nVars),
+		level:    make([]int32, nVars),
+		reason:   make([]*sclause, nVars),
+		phase:    make([]bool, nVars),
+		activity: make([]float64, nVars),
+		seen:     make([]bool, nVars),
+		varInc:   1,
+	}
+	return s
+}
+
+func (s *satSolver) value(l slit) int8 {
+	v := s.assign[l.variable()]
+	if l.sign() {
+		return -v
+	}
+	return v
+}
+
+// addClause installs a problem clause. Empty clause or a root-level
+// conflict is reported by returning false. Must be called at level 0.
+func (s *satSolver) addClause(lits ...slit) bool {
+	// Root-level simplification: drop false lits, succeed on true ones.
+	out := lits[:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case 1:
+			return true
+		case 0:
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return false
+	case 1:
+		return s.enqueue(out[0], nil) && s.propagate() == nil
+	}
+	c := &sclause{lits: append([]slit(nil), out...)}
+	s.attach(c)
+	s.clauses = append(s.clauses, c)
+	return true
+}
+
+func (s *satSolver) attach(c *sclause) {
+	s.watches[c.lits[0].not()] = append(s.watches[c.lits[0].not()], c)
+	s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], c)
+}
+
+func (s *satSolver) enqueue(l slit, from *sclause) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	v := l.variable()
+	if l.sign() {
+		s.assign[v] = -1
+	} else {
+		s.assign[v] = 1
+	}
+	s.phase[v] = !l.sign()
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; it returns the conflicting clause or nil.
+func (s *satSolver) propagate() *sclause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			// Ensure the falsified watch is lits[1].
+			if c.lits[0].not() == p {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == 1 {
+				kept = append(kept, c)
+				continue
+			}
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != -1 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[p] = kept
+				return c
+			}
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+func (s *satSolver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *satSolver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *satSolver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		v := s.trail[i].variable()
+		s.assign[v] = 0
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *satSolver) bump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze derives the first-UIP learned clause from a conflict; it returns
+// the clause (asserting literal first) and the backjump level.
+func (s *satSolver) analyze(confl *sclause) ([]slit, int) {
+	learnt := []slit{litUndef} // slot 0 = asserting literal
+	counter := 0
+	idx := len(s.trail) - 1
+	var p slit = litUndef
+
+	for {
+		for _, q := range confl.lits {
+			if p != litUndef && q == p {
+				continue
+			}
+			v := q.variable()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bump(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		for !s.seen[s.trail[idx].variable()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.variable()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.variable()]
+	}
+	learnt[0] = p.not()
+
+	btLevel := 0
+	if len(learnt) > 1 {
+		// Move the highest-level non-asserting literal to slot 1.
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].variable()] > s.level[learnt[maxI].variable()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].variable()])
+	}
+	for _, l := range learnt {
+		s.seen[l.variable()] = false
+	}
+	s.varInc /= 0.95
+	return learnt, btLevel
+}
+
+func (s *satSolver) pickBranch() slit {
+	best, bestAct := -1, -1.0
+	for v := 0; v < s.nVars; v++ {
+		if s.assign[v] == 0 && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	if best < 0 {
+		return litUndef
+	}
+	return mkLit(uint32(best), !s.phase[best])
+}
+
+// solve decides satisfiability under the given assumptions with a conflict
+// budget. Learned clauses and variable activity persist across calls.
+func (s *satSolver) solve(assumps []slit, budget int64) satResult {
+	s.cancelUntil(0)
+	limit := s.conflicts + budget
+	restartUnit := int64(64)
+	nextRestart := s.conflicts + restartUnit
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			if s.decisionLevel() <= len(assumps) {
+				// Conflict forced by the assumptions themselves.
+				s.cancelUntil(0)
+				return satFalse
+			}
+			learnt, bt := s.analyze(confl)
+			if bt < len(assumps) {
+				bt = len(assumps)
+			}
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.cancelUntil(0)
+				if !s.enqueue(learnt[0], nil) {
+					return satFalse
+				}
+			} else {
+				c := &sclause{lits: learnt, learned: true}
+				s.attach(c)
+				s.clauses = append(s.clauses, c)
+				if !s.enqueue(learnt[0], c) {
+					return satFalse
+				}
+			}
+			if s.conflicts >= limit {
+				s.cancelUntil(0)
+				return satUnknown
+			}
+			if s.conflicts >= nextRestart {
+				restartUnit += restartUnit / 2
+				nextRestart = s.conflicts + restartUnit
+				s.cancelUntil(len(assumps))
+			}
+			continue
+		}
+		// Re-establish assumptions as the first decision levels after any
+		// backjump below them.
+		if lvl := s.decisionLevel(); lvl < len(assumps) {
+			a := assumps[lvl]
+			switch s.value(a) {
+			case 1:
+				s.newDecisionLevel() // already implied: placeholder level
+			case -1:
+				s.cancelUntil(0)
+				return satFalse
+			default:
+				s.newDecisionLevel()
+				s.enqueue(a, nil)
+			}
+			continue
+		}
+		next := s.pickBranch()
+		if next == litUndef {
+			s.cancelUntil(0)
+			return satTrue
+		}
+		s.newDecisionLevel()
+		s.enqueue(next, nil)
+	}
+}
+
+// prover wraps a satSolver over the Tseitin encoding of a combined graph.
+type prover struct {
+	s  *satSolver
+	ok bool // encoding consistent (always true for a well-formed AIG)
+}
+
+func newProver(g *aig.AIG) *prover {
+	s := newSatSolver(g.NumNodes())
+	ok := s.addClause(mkLit(0, true)) // node 0 is constant false
+	nodeLit := func(l aig.Lit) slit { return mkLit(l.Node(), l.IsCompl()) }
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		f0, f1 := g.Fanins(n)
+		o, a, b := mkLit(n, false), nodeLit(f0), nodeLit(f1)
+		ok = ok && s.addClause(o.not(), a)
+		ok = ok && s.addClause(o.not(), b)
+		ok = ok && s.addClause(o, a.not(), b.not())
+	}
+	return &prover{s: s, ok: ok}
+}
+
+// equivalent proves n == m (complemented when compl) by refuting both
+// difference phases. Only satFalse on both calls counts as proven.
+func (p *prover) equivalent(n, m uint32, compl bool, budget int64) bool {
+	if !p.ok {
+		return false
+	}
+	nPos, nNeg := mkLit(n, false), mkLit(n, true)
+	mPos, mNeg := mkLit(m, compl), mkLit(m, !compl)
+	if r := p.s.solve([]slit{nPos, mNeg}, budget); r != satFalse {
+		return false
+	}
+	if r := p.s.solve([]slit{nNeg, mPos}, budget); r != satFalse {
+		return false
+	}
+	return true
+}

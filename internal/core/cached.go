@@ -66,6 +66,13 @@ func (s *SLAP) MapCached(ctx context.Context, g *aig.AIG, cache *mapcache.Cache,
 		return res, out, nil
 	}
 
+	// ECO snapshots and delta remapping are defined for the single-round,
+	// no-choice flow only: a snapshot records the keep decision's filtered
+	// lists, not the recovery pools or a choice view's combined graph. The
+	// multi-round configurations still get exact-key caching and
+	// singleflight — their entries just carry no snapshot.
+	simple := s.Rounds <= 1 && !s.Choices
+
 	sig := s.ConfigSig()
 	out.Key = mapcache.KeyOf(g, sig)
 	e, shared, err := cache.Do(out.Key, func() (*mapcache.Entry, error) {
@@ -75,7 +82,7 @@ func (s *SLAP) MapCached(ctx context.Context, g *aig.AIG, cache *mapcache.Cache,
 			out.Hit = true
 			return e, nil
 		}
-		if opt.ECO {
+		if opt.ECO && simple {
 			if e, ok := s.tryDelta(ctx, g, cache, sig, opt.Verify, out); ok {
 				return e, nil
 			}
@@ -83,15 +90,23 @@ func (s *SLAP) MapCached(ctx context.Context, g *aig.AIG, cache *mapcache.Cache,
 		var res *mapper.Result
 		var snap *SlapSnapshot
 		var err error
-		if opt.Streaming {
+		switch {
+		case !simple && opt.Streaming:
+			res, err = s.MapStreamContext(ctx, g)
+		case !simple:
+			res, err = s.MapContext(ctx, g)
+		case opt.Streaming:
 			res, snap, err = s.MapStreamCaptureContext(ctx, g)
-		} else {
+		default:
 			res, snap, err = s.MapCaptureContext(ctx, g)
 		}
 		if err != nil {
 			return nil, err
 		}
-		e := &mapcache.Entry{Key: out.Key, Sig: sig, Result: res, Snap: snap}
+		e := &mapcache.Entry{Key: out.Key, Sig: sig, Result: res}
+		if snap != nil {
+			e.Snap = snap
+		}
 		if opt.Verify != nil {
 			e.Verified = opt.Verify(res)
 		}

@@ -46,19 +46,28 @@ const ecoLeafChunk = 4096
 
 // ConfigSig identifies everything about this SLAP instance that shapes the
 // mapping result: model and library identity, the keep thresholds, the
-// scoring mode and the enumeration merge cap. Workers, Batch and Pool are
-// deliberately excluded — they change scheduling, never results (the
-// batched kernels accumulate in per-sample order). Identity is by pointer,
-// so signatures — and the cache keys built from them — are valid within
-// one process only, which is exactly the mapcache's lifetime.
+// scoring mode, the enumeration merge cap and the multi-round/choice knobs.
+// Workers, Batch and Pool are deliberately excluded — they change
+// scheduling, never results (the batched kernels accumulate in per-sample
+// order). Identity is by pointer, so signatures — and the cache keys built
+// from them — are valid within one process only, which is exactly the
+// mapcache's lifetime.
 func (s *SLAP) ConfigSig() string {
 	mc := s.MergeCap
 	if mc == 0 {
 		mc = cuts.DefaultMergeCap
 	}
-	return fmt.Sprintf("slap/model=%p/lib=%s@%p/good=%d/avg=%d/exp=%v/max=%d/mc=%d",
+	rounds := s.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	df := s.DelayFactor
+	if df < 1 {
+		df = 1
+	}
+	return fmt.Sprintf("slap/model=%p/lib=%s@%p/good=%d/avg=%d/exp=%v/max=%d/mc=%d/rounds=%d/df=%g/choices=%v",
 		s.Model, s.Library.Name, s.Library, s.GoodMax, s.AvgMax,
-		s.UseExpectedClass, s.MaxCutsPerNode, mc)
+		s.UseExpectedClass, s.MaxCutsPerNode, mc, rounds, df, s.Choices)
 }
 
 // SlapSnapshot is a reusable record of one full SLAP mapping run: the
@@ -146,7 +155,9 @@ func (sn *SlapSnapshot) SnapshotBytes() int64 { return sn.bytes }
 
 // MapCaptureContext runs the full two-phase SLAP flow and additionally
 // records the snapshot that later MapDeltaContext calls remap against.
-// The Result is identical to MapContext's.
+// The Result is identical to MapContext's for the single-round, no-choice
+// configuration — the only one capture supports (see
+// MapStreamCaptureContext).
 func (s *SLAP) MapCaptureContext(ctx context.Context, g *aig.AIG) (*mapper.Result, *SlapSnapshot, error) {
 	filtered, err := s.FilterCutsContext(ctx, g)
 	if err != nil {
@@ -172,7 +183,10 @@ func (s *SLAP) MapCaptureContext(ctx context.Context, g *aig.AIG) (*mapper.Resul
 // MapStreamCaptureContext is MapCaptureContext's fused streaming
 // equivalent: the snapshot captures each level's filtered lists just
 // before the incremental mapper consumes them (and before the enumerator
-// retires the level's storage).
+// retires the level's storage). Like MapCaptureContext, it always runs the
+// single-round, no-choice flow: snapshots exist to feed the ECO delta
+// path, which is defined for that configuration only (MapCached gates
+// capture accordingly).
 func (s *SLAP) MapStreamCaptureContext(ctx context.Context, g *aig.AIG) (*mapper.Result, *SlapSnapshot, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -182,7 +196,7 @@ func (s *SLAP) MapStreamCaptureContext(ctx context.Context, g *aig.AIG) (*mapper
 		return nil, nil, err
 	}
 	snap := s.NewSnapshot(g)
-	res, err := s.streamFiltered(ctx, g, func(n uint32, cs []cuts.Cut) {
+	res, err := s.streamFiltered(ctx, g, nil, func(n uint32, cs, _ []cuts.Cut) {
 		if g.IsAnd(n) {
 			snap.capture(n, cs)
 		}
@@ -282,7 +296,7 @@ func (s *SLAP) MapDeltaContext(ctx context.Context, g *aig.AIG, snap *SlapSnapsh
 	if len(dirty) > 0 {
 		emb := embed.NewEmbedder(g)
 		emb.PrecomputeAll()
-		if err := s.filterSubset(ctx, emb, dirty, res.Sets); err != nil {
+		if err := s.filterSubset(ctx, emb, dirty, res.Sets, nil); err != nil {
 			return nil, nil, nil, err
 		}
 	}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"slap/internal/circuits"
+	"slap/internal/cuts"
+	"slap/internal/library"
+	"slap/internal/mapcache"
+	"slap/internal/mapper"
+)
+
+// roundsModel shares one trained model across the multi-round tests —
+// training dominates their runtime and every test only needs pipeline
+// correctness, not a fresh model.
+var roundsModel struct {
+	once sync.Once
+	s    *SLAP
+}
+
+func roundsSLAP(t *testing.T) *SLAP {
+	t.Helper()
+	roundsModel.once.Do(func() {
+		s, _, err := Train(TrainOptions{
+			Library:        library.ASAP7ish(),
+			MapsPerCircuit: 60,
+			Epochs:         10,
+			Filters:        16,
+			Seed:           7,
+		})
+		if err != nil {
+			return
+		}
+		roundsModel.s = s
+	})
+	if roundsModel.s == nil {
+		t.Fatal("shared training failed")
+	}
+	return roundsModel.s
+}
+
+// TestMultiRoundQoR pins the multi-round contract on a real circuit: four
+// rounds report delay -> area-flow -> area-flow -> area-flow+exact, the
+// delay estimate never drifts above the round-1 target, area ends at or
+// below the single-pass cover, and the netlist still verifies — with and
+// without choices.
+func TestMultiRoundQoR(t *testing.T) {
+	s := roundsSLAP(t)
+	g := circuits.RippleCarryAdder(16)
+
+	single, err := s.Map(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.RoundStats != nil {
+		t.Fatalf("single-pass map reported round stats: %+v", single.RoundStats)
+	}
+
+	for _, choices := range []bool{false, true} {
+		s4 := *s
+		s4.Rounds = 4
+		s4.Choices = choices
+		multi, err := s4.Map(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(multi.RoundStats) != 4 {
+			t.Fatalf("choices=%v: want 4 round stats, got %d", choices, len(multi.RoundStats))
+		}
+		wantModes := []string{"delay", "area-flow", "area-flow", "area-flow+exact"}
+		for i, st := range multi.RoundStats {
+			if st.Round != i+1 || st.Mode != wantModes[i] {
+				t.Fatalf("choices=%v: round %d is %+v, want round=%d mode=%s", choices, i, st, i+1, wantModes[i])
+			}
+			if st.EstDelay > multi.RoundStats[0].EstDelay+1e-6 {
+				t.Fatalf("choices=%v: round %d delay %.3f drifted above round-1 %.3f",
+					choices, st.Round, st.EstDelay, multi.RoundStats[0].EstDelay)
+			}
+		}
+		last := multi.RoundStats[3]
+		if last.EstArea > multi.RoundStats[0].EstArea+1e-6 {
+			t.Fatalf("choices=%v: recovery ended worse than the delay round: %.3f > %.3f",
+				choices, last.EstArea, multi.RoundStats[0].EstArea)
+		}
+		if !choices && multi.Area > single.Area+1e-6 {
+			t.Fatalf("4-round area %.3f worse than single-pass %.3f", multi.Area, single.Area)
+		}
+		if err := multi.Netlist.EquivalentTo(g, 6, rand.New(rand.NewSource(3))); err != nil {
+			t.Fatalf("choices=%v: multi-round netlist not equivalent: %v", choices, err)
+		}
+	}
+}
+
+// TestMultiRoundLUTQoR is the lut-side analogue: depth-first round, then
+// area recovery at never-worse depth, verified against the base graph.
+func TestMultiRoundLUTQoR(t *testing.T) {
+	s := roundsSLAP(t)
+	g := circuits.RippleCarryAdder(16)
+
+	single, err := s.MapLUT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4 := *s
+	s4.Rounds = 4
+	s4.Choices = true
+	multi, err := s4.MapLUT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.RoundStats) != 4 {
+		t.Fatalf("want 4 round stats, got %d", len(multi.RoundStats))
+	}
+	if multi.RoundStats[0].Mode != "depth" || multi.RoundStats[3].Mode != "area-flow+exact" {
+		t.Fatalf("unexpected round modes: %+v", multi.RoundStats)
+	}
+	for _, st := range multi.RoundStats {
+		if st.Depth > multi.RoundStats[0].Depth {
+			t.Fatalf("round %d depth %d exceeds round-1 depth %d", st.Round, st.Depth, multi.RoundStats[0].Depth)
+		}
+	}
+	if multi.NumLUTs() > single.NumLUTs() {
+		t.Fatalf("4-round+choices LUTs %d worse than single-pass %d", multi.NumLUTs(), single.NumLUTs())
+	}
+	if multi.Depth > single.Depth {
+		t.Fatalf("4-round+choices depth %d worse than single-pass %d", multi.Depth, single.Depth)
+	}
+	if err := multi.EquivalentTo(g, 6, rand.New(rand.NewSource(4))); err != nil {
+		t.Fatalf("multi-round LUT network not equivalent: %v", err)
+	}
+}
+
+// TestRoundCounterParity pins the satellite counter contract: round 1 of a
+// multi-round run reports exactly the single-pass CutsConsidered/PeakCuts,
+// and the result totals aggregate per-round counters (sum and max).
+func TestRoundCounterParity(t *testing.T) {
+	s := roundsSLAP(t)
+	g := circuits.CarryLookaheadAdder(8)
+
+	single, err := s.Map(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4 := *s
+	s4.Rounds = 3
+	for _, streaming := range []bool{false, true} {
+		var multi *mapper.Result
+		var err error
+		if streaming {
+			multi, err = s4.MapStream(g)
+		} else {
+			multi, err = s4.Map(g)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := multi.RoundStats[0]
+		if r1.CutsConsidered != single.CutsConsidered {
+			t.Fatalf("streaming=%v: round-1 cuts %d != single-pass %d", streaming, r1.CutsConsidered, single.CutsConsidered)
+		}
+		sum, peak := 0, 0
+		for _, st := range multi.RoundStats {
+			sum += st.CutsConsidered
+			if st.PeakCuts > peak {
+				peak = st.PeakCuts
+			}
+		}
+		if multi.CutsConsidered != sum {
+			t.Fatalf("streaming=%v: total cuts %d != per-round sum %d", streaming, multi.CutsConsidered, sum)
+		}
+		if multi.PeakCuts != peak {
+			t.Fatalf("streaming=%v: total peak %d != per-round max %d", streaming, multi.PeakCuts, peak)
+		}
+	}
+
+	// LUT side, same contract.
+	lsingle, err := s.MapLUT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmulti, err := s4.MapLUT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lmulti.RoundStats[0].CutsConsidered != lsingle.CutsConsidered {
+		t.Fatalf("LUT round-1 cuts %d != single-pass %d", lmulti.RoundStats[0].CutsConsidered, lsingle.CutsConsidered)
+	}
+	sum := 0
+	for _, st := range lmulti.RoundStats {
+		sum += st.CutsConsidered
+	}
+	if lmulti.CutsConsidered != sum {
+		t.Fatalf("LUT total cuts %d != per-round sum %d", lmulti.CutsConsidered, sum)
+	}
+}
+
+// TestConfigSigRoundsCacheMiss is the mapcache regression: the same AIG at
+// rounds=1 and rounds=4 must resolve to different content addresses, so a
+// cached single-round result is never served for a multi-round request —
+// and the multi-round entry carries no ECO snapshot.
+func TestConfigSigRoundsCacheMiss(t *testing.T) {
+	s := roundsSLAP(t)
+	g := circuits.RippleCarryAdder(8)
+	cache := mapcache.New(64 << 20)
+	ctx := context.Background()
+
+	res1, out1, err := s.MapCached(ctx, g, cache, CachedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Hit {
+		t.Fatal("first submission reported a hit")
+	}
+
+	s4 := *s
+	s4.Rounds = 4
+	s4.DelayFactor = 1.1
+	s4.Choices = true
+	res4, out4, err := s4.MapCached(ctx, g, cache, CachedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out4.Hit {
+		t.Fatal("multi-round request was served the single-round cached result")
+	}
+	if out4.Key == out1.Key {
+		t.Fatalf("rounds=1 and rounds=4 share a content address: %v", out4.Key)
+	}
+	if len(res4.RoundStats) != 4 || res1.RoundStats != nil {
+		t.Fatalf("QoR fields do not reflect the configs: single=%v multi=%v", res1.RoundStats, res4.RoundStats)
+	}
+	if e, ok := cache.Get(out4.Key); !ok {
+		t.Fatal("multi-round result not cached")
+	} else if e.Snap != nil {
+		t.Fatal("multi-round entry carries an ECO snapshot")
+	}
+	if e, ok := cache.Get(out1.Key); !ok || e.Snap == nil {
+		t.Fatal("single-round entry lost its ECO snapshot")
+	}
+
+	// Resubmitting the multi-round config is an exact hit.
+	_, again, err := s4.MapCached(ctx, g, cache, CachedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Hit {
+		t.Fatal("equal multi-round resubmission missed the cache")
+	}
+}
+
+// TestMultiRoundDeterminismMatrix pins byte-identity of the 4-round+choices
+// flow across worker counts, the streaming/two-phase split, and arena-pool
+// reuse — the guarantee fleet routing and the result cache depend on.
+func TestMultiRoundDeterminismMatrix(t *testing.T) {
+	s := roundsSLAP(t)
+	g := circuits.CarryLookaheadAdder(8)
+
+	var ref []byte
+	var refCfg string
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, streaming := range []bool{false, true} {
+			for _, pooled := range []bool{false, true} {
+				cfg := fmt.Sprintf("workers=%d streaming=%v pool=%v", workers, streaming, pooled)
+				sv := *s
+				sv.Workers = workers
+				sv.Rounds = 4
+				sv.DelayFactor = 1.05
+				sv.Choices = true
+				if pooled {
+					sv.Pool = cuts.NewPool(0)
+				}
+				var res *mapper.Result
+				var err error
+				if streaming {
+					res, err = sv.MapStream(g)
+				} else {
+					res, err = sv.Map(g)
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", cfg, err)
+				}
+				var buf bytes.Buffer
+				if err := res.Netlist.WriteVerilog(&buf); err != nil {
+					t.Fatalf("%s: %v", cfg, err)
+				}
+				if ref == nil {
+					ref, refCfg = buf.Bytes(), cfg
+					continue
+				}
+				if !bytes.Equal(ref, buf.Bytes()) {
+					t.Fatalf("netlist bytes differ between %s and %s", refCfg, cfg)
+				}
+			}
+		}
+	}
+}

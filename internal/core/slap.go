@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"slap/internal/aig"
+	"slap/internal/choice"
 	"slap/internal/circuits"
 	"slap/internal/cuts"
 	"slap/internal/dataset"
@@ -77,6 +78,24 @@ type SLAP struct {
 	// MapLUTStreamContext) recycle cut-arena storage across runs of the
 	// same graph shape. The two-phase flow ignores it.
 	Pool *cuts.Pool
+	// Rounds selects multi-round mapping: round 1 is the delay-optimal
+	// (depth-optimal for LUTs) pass, later rounds re-select covers by area
+	// flow under the round-1 required times, and the final round adds
+	// exact-area refinement. Values <= 1 keep today's single-pass flow.
+	// Recovery rounds draw from a wider cut pool (the average-class cuts the
+	// keep decision would have dropped), scored by the same single inference
+	// pass — no extra model evaluations per round.
+	Rounds int
+	// DelayFactor relaxes the recovery rounds' required times: the delay
+	// target is round-1 delay times this factor. Values < 1 (including the
+	// zero value) clamp to 1.0, i.e. no delay degradation is allowed.
+	DelayFactor float64
+	// Choices maps over a choice view of the subject graph instead of the
+	// graph itself: functionally equivalent variants (internal/opt rewrites)
+	// are grafted in and the enumerator matches the union of each
+	// equivalence class's cuts (internal/choice). The view shares the base
+	// graph's PIs and POs, so results verify against the original graph.
+	Choices bool
 }
 
 // inferScratch is one worker's reusable embedding storage: a single-sample
@@ -302,13 +321,23 @@ func (s *SLAP) FilterCuts(g *aig.AIG) *cuts.Result {
 // ctx.Err() as soon as the deadline passes or the caller gives up — the
 // per-request timeout path of the slap-serve front end.
 func (s *SLAP) FilterCutsContext(ctx context.Context, g *aig.AIG) (*cuts.Result, error) {
+	res, _, err := s.filterCutsChoices(ctx, g, nil)
+	return res, err
+}
+
+// filterCutsChoices is the shared two-phase filtering front end: enumerate
+// (optionally across a choice source), classify, apply the keep decision.
+// When Rounds > 1 it additionally returns the per-node recovery pool — the
+// average-class cuts the keep decision dropped, ranked by their already-
+// computed scores — for the mapper's area-recovery rounds.
+func (s *SLAP) filterCutsChoices(ctx context.Context, g *aig.AIG, ch cuts.ChoiceSource) (*cuts.Result, [][]cuts.Cut, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap, Workers: s.Workers}
+	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap, Workers: s.Workers, Choices: ch}
 	res := enum.Run()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	emb := embed.NewEmbedder(g)
 	emb.PrecomputeAll()
@@ -319,8 +348,12 @@ func (s *SLAP) FilterCutsContext(ctx context.Context, g *aig.AIG) (*cuts.Result,
 			nodes = append(nodes, n)
 		}
 	}
-	if err := s.filterSubset(ctx, emb, nodes, res.Sets); err != nil {
-		return nil, err
+	var extras [][]cuts.Cut
+	if s.Rounds > 1 {
+		extras = make([][]cuts.Cut, g.NumNodes())
+	}
+	if err := s.filterSubset(ctx, emb, nodes, res.Sets, extras); err != nil {
+		return nil, nil, err
 	}
 
 	total := 0
@@ -328,15 +361,16 @@ func (s *SLAP) FilterCutsContext(ctx context.Context, g *aig.AIG) (*cuts.Result,
 		total += len(res.Sets[n])
 	}
 	res.TotalCuts = total
-	return res, nil
+	return res, extras, nil
 }
 
 // filterSubset runs the ML keep decision over the listed AND nodes,
 // rewriting sets[n] in place: the strided worker loop shared by the full
 // filter pass and the ECO delta path (which hands it dirty nodes only),
 // with first-error-wins cancellation of the siblings — e.g. a batching
-// backend closing mid-map.
-func (s *SLAP) filterSubset(ctx context.Context, emb *embed.Embedder, nodes []uint32, sets [][]cuts.Cut) error {
+// backend closing mid-map. A non-nil extras receives each node's recovery
+// pool (see filterNode).
+func (s *SLAP) filterSubset(ctx context.Context, emb *embed.Embedder, nodes []uint32, sets, extras [][]cuts.Cut) error {
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -358,12 +392,15 @@ func (s *SLAP) filterSubset(ctx context.Context, emb *embed.Embedder, nodes []ui
 					return
 				}
 				n := nodes[ni]
-				out, err := s.filterNode(cctx, emb, n, sets[n], sc)
+				out, ex, err := s.filterNode(cctx, emb, n, sets[n], sc)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err; cancel() })
 					return
 				}
 				sets[n] = out
+				if extras != nil {
+					extras[n] = ex
+				}
 			}
 		}(w)
 	}
@@ -432,10 +469,16 @@ func (s *SLAP) scoreCuts(ctx context.Context, emb *embed.Embedder, n uint32, cs 
 // exist, otherwise the "average" cuts (class <= AvgMax), otherwise only the
 // trivial cut. Kept cuts are ordered by predicted quality and capped at
 // MaxCutsPerNode — the learned priority-cuts ranking.
-func (s *SLAP) filterNode(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut, sc *inferScratch) ([]cuts.Cut, error) {
+//
+// When Rounds > 1 it also returns the node's recovery pool: the acceptable
+// cuts the keep decision dropped (the average class shadowed by good cuts,
+// plus any MaxCutsPerNode overflow), score-ranked. Bad-class cuts never
+// enter either list, and the pool reuses the scores of the single inference
+// pass above — the per-round pruning adds no model evaluations.
+func (s *SLAP) filterNode(ctx context.Context, emb *embed.Embedder, n uint32, cs []cuts.Cut, sc *inferScratch) ([]cuts.Cut, []cuts.Cut, error) {
 	idx, scores, err := s.scoreCuts(ctx, emb, n, cs, sc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	type scored struct {
 		cut   cuts.Cut
@@ -452,24 +495,38 @@ func (s *SLAP) filterNode(ctx context.Context, emb *embed.Embedder, n uint32, cs
 			avg = append(avg, scored{cut: cs[i], score: score})
 		}
 	}
-	keep := good
+	keep, rest := good, avg
 	if len(keep) == 0 {
-		keep = avg
+		keep, rest = avg, nil
 	}
 	if len(keep) == 0 {
 		// No acceptable cut: only the trivial cut survives; the mapper's
 		// elementary-fanin-cut fallback keeps the node coverable.
-		return []cuts.Cut{trivialOf(n, cs)}, nil
+		return []cuts.Cut{trivialOf(n, cs)}, nil, nil
 	}
 	sort.SliceStable(keep, func(i, j int) bool { return keep[i].score < keep[j].score })
+	var overflow []scored
 	if s.MaxCutsPerNode > 0 && len(keep) > s.MaxCutsPerNode {
+		overflow = keep[s.MaxCutsPerNode:]
 		keep = keep[:s.MaxCutsPerNode]
 	}
 	out := make([]cuts.Cut, 0, len(keep)+1)
 	for _, k := range keep {
 		out = append(out, k.cut)
 	}
-	return append(out, trivialOf(n, cs)), nil
+	out = append(out, trivialOf(n, cs))
+	var extra []cuts.Cut
+	if s.Rounds > 1 && len(overflow)+len(rest) > 0 {
+		pool := make([]scored, 0, len(overflow)+len(rest))
+		pool = append(pool, overflow...)
+		pool = append(pool, rest...)
+		sort.SliceStable(pool, func(i, j int) bool { return pool[i].score < pool[j].score })
+		extra = make([]cuts.Cut, len(pool))
+		for i := range pool {
+			extra[i] = pool[i].cut
+		}
+	}
+	return out, extra, nil
 }
 
 func trivialOf(n uint32, cs []cuts.Cut) cuts.Cut {
@@ -483,9 +540,22 @@ func trivialOf(n uint32, cs []cuts.Cut) cuts.Cut {
 	return cuts.Cut{Leaves: []uint32{n}}
 }
 
+// choiceGraph returns the graph to map and the choice source to enumerate
+// with: the subject graph itself when Choices is off, or a freshly built
+// choice view over it (which shares g's PI/PO interface, so downstream
+// verification against g is unchanged).
+func (s *SLAP) choiceGraph(g *aig.AIG) (*aig.AIG, cuts.ChoiceSource) {
+	if !s.Choices {
+		return g, nil
+	}
+	v := choice.Build(g, choice.Options{})
+	return v.G, v
+}
+
 // Map runs the full SLAP flow on g: filter cuts with the model, then map
 // with the unchanged mapper (Boolean matching, arrival update and cover
-// selection untouched, as in the paper).
+// selection untouched, as in the paper). With Rounds/Choices set, the flow
+// becomes multi-round mapping over a choice view (see Options fields).
 func (s *SLAP) Map(g *aig.AIG) (*mapper.Result, error) {
 	return s.MapContext(context.Background(), g)
 }
@@ -493,11 +563,15 @@ func (s *SLAP) Map(g *aig.AIG) (*mapper.Result, error) {
 // MapContext is Map with cooperative cancellation between flow stages and
 // inside the classification workers (see FilterCutsContext).
 func (s *SLAP) MapContext(ctx context.Context, g *aig.AIG) (*mapper.Result, error) {
-	filtered, err := s.FilterCutsContext(ctx, g)
+	mg, ch := s.choiceGraph(g)
+	filtered, extras, err := s.filterCutsChoices(ctx, mg, ch)
 	if err != nil {
 		return nil, err
 	}
-	res, err := mapper.Map(g, mapper.Options{Library: s.Library, CutSets: filtered})
+	res, err := mapper.Map(mg, mapper.Options{
+		Library: s.Library, CutSets: filtered,
+		Rounds: s.Rounds, DelayFactor: s.DelayFactor, ExtraCuts: extras,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -521,11 +595,15 @@ func (s *SLAP) MapLUT(g *aig.AIG) (*lutmap.Result, error) {
 
 // MapLUTContext is MapLUT with cooperative cancellation (see MapContext).
 func (s *SLAP) MapLUTContext(ctx context.Context, g *aig.AIG) (*lutmap.Result, error) {
-	filtered, err := s.FilterCutsContext(ctx, g)
+	mg, ch := s.choiceGraph(g)
+	filtered, extras, err := s.filterCutsChoices(ctx, mg, ch)
 	if err != nil {
 		return nil, err
 	}
-	res, err := lutmap.Map(g, lutmap.Options{CutSets: filtered})
+	res, err := lutmap.Map(mg, lutmap.Options{
+		CutSets: filtered,
+		Rounds:  s.Rounds, DelayFactor: s.DelayFactor, ExtraCuts: extras,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -28,16 +28,23 @@ func (s *SLAP) MapStream(g *aig.AIG) (*mapper.Result, error) {
 
 // MapStreamContext runs the full SLAP flow on g as a fused pipeline:
 // matching consumes each level's ML-filtered cuts as the wavefront
-// produces them. The Result is byte-identical to MapContext.
+// produces them. The Result is byte-identical to MapContext, including the
+// multi-round and choice-view configurations.
 func (s *SLAP) MapStreamContext(ctx context.Context, g *aig.AIG) (*mapper.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	st, err := mapper.NewStream(g, mapper.Options{Library: s.Library})
+	mg, ch := s.choiceGraph(g)
+	st, err := mapper.NewStream(mg, mapper.Options{Library: s.Library, Rounds: s.Rounds, DelayFactor: s.DelayFactor})
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.streamFiltered(ctx, g, st.ConsumeNode)
+	res, err := s.streamFiltered(ctx, mg, ch, func(n uint32, kept, extras []cuts.Cut) {
+		st.ConsumeNode(n, kept)
+		if extras != nil {
+			st.ConsumeExtras(n, extras)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -64,8 +71,14 @@ func (s *SLAP) MapLUTStreamContext(ctx context.Context, g *aig.AIG) (*lutmap.Res
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	st := lutmap.NewStream(g, lutmap.Options{})
-	res, err := s.streamFiltered(ctx, g, st.ConsumeNode)
+	mg, ch := s.choiceGraph(g)
+	st := lutmap.NewStream(mg, lutmap.Options{Rounds: s.Rounds, DelayFactor: s.DelayFactor})
+	res, err := s.streamFiltered(ctx, mg, ch, func(n uint32, kept, extras []cuts.Cut) {
+		st.ConsumeNode(n, kept)
+		if extras != nil {
+			st.ConsumeExtras(n, extras)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -83,12 +96,14 @@ func (s *SLAP) MapLUTStreamContext(ctx context.Context, g *aig.AIG) (*lutmap.Res
 
 // streamFiltered drives the fused enumerate→classify→consume pipeline:
 // exhaustive streaming enumeration (the same UnlimitedPolicy universe as
-// FilterCutsContext), per-level parallel ML filtering with per-worker
-// reusable embedding buffers, and a sequential consume of the filtered
-// lists in ascending node order (the order the two-phase mapper sees).
-// When s.Pool is set, cut storage is checked out of the arena pool and
-// recycled across runs of the same graph.
-func (s *SLAP) streamFiltered(ctx context.Context, g *aig.AIG, consume func(uint32, []cuts.Cut)) (*cuts.Result, error) {
+// FilterCutsContext, optionally enriched across a choice source), per-level
+// parallel ML filtering with per-worker reusable embedding buffers, and a
+// sequential consume of the filtered lists in ascending node order (the
+// order the two-phase mapper sees). The consumer's second list is the
+// node's recovery pool — nil unless Rounds > 1 (see filterNode). When
+// s.Pool is set, cut storage is checked out of the arena pool and recycled
+// across runs of the same graph.
+func (s *SLAP) streamFiltered(ctx context.Context, g *aig.AIG, ch cuts.ChoiceSource, consume func(uint32, []cuts.Cut, []cuts.Cut)) (*cuts.Result, error) {
 	emb := embed.NewEmbedder(g)
 	emb.PrecomputeAll()
 
@@ -101,13 +116,23 @@ func (s *SLAP) streamFiltered(ctx context.Context, g *aig.AIG, consume func(uint
 		scratches[i] = &inferScratch{}
 	}
 	filtered := make([][]cuts.Cut, g.NumNodes())
+	var extras [][]cuts.Cut
+	if s.Rounds > 1 {
+		extras = make([][]cuts.Cut, g.NumNodes())
+	}
+	extrasOf := func(n uint32) []cuts.Cut {
+		if extras == nil {
+			return nil
+		}
+		return extras[n]
+	}
 
 	var arena *cuts.Arena
 	if s.Pool != nil {
 		arena = s.Pool.Get(g)
 		defer s.Pool.Put(arena)
 	}
-	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap, Workers: s.Workers, Arena: arena}
+	enum := &cuts.Enumerator{G: g, Policy: cuts.UnlimitedPolicy{}, MergeCap: s.MergeCap, Workers: s.Workers, Arena: arena, Choices: ch}
 
 	sink := func(_ int32, nodes []uint32, sets [][]cuts.Cut) error {
 		if err := ctx.Err(); err != nil {
@@ -116,20 +141,26 @@ func (s *SLAP) streamFiltered(ctx context.Context, g *aig.AIG, consume func(uint
 		if workers == 1 || len(nodes) < 2 {
 			sc := scratches[0]
 			for _, n := range nodes {
-				out, err := s.filterNode(ctx, emb, n, sets[n], sc)
+				out, ex, err := s.filterNode(ctx, emb, n, sets[n], sc)
 				if err != nil {
 					return err
 				}
 				filtered[n] = out
+				if extras != nil {
+					extras[n] = ex
+				}
 			}
-		} else if err := s.filterLevel(ctx, emb, nodes, sets, filtered, scratches); err != nil {
+		} else if err := s.filterLevel(ctx, emb, nodes, sets, filtered, extras, scratches); err != nil {
 			return err
 		}
 		// The filtered lists hold durable leaves only after the consumer
 		// copies them; consume before the enumerator retires the level.
 		for _, n := range nodes {
-			consume(n, filtered[n])
+			consume(n, filtered[n], extrasOf(n))
 			filtered[n] = nil
+			if extras != nil {
+				extras[n] = nil
+			}
 		}
 		return nil
 	}
@@ -146,7 +177,7 @@ func (s *SLAP) streamFiltered(ctx context.Context, g *aig.AIG, consume func(uint
 // filterLevel classifies one level's nodes across the inference workers,
 // mirroring FilterCutsContext's strided worker loop (including the
 // first-error-wins cancellation of a failing batch backend).
-func (s *SLAP) filterLevel(ctx context.Context, emb *embed.Embedder, nodes []uint32, sets, filtered [][]cuts.Cut, scratches []*inferScratch) error {
+func (s *SLAP) filterLevel(ctx context.Context, emb *embed.Embedder, nodes []uint32, sets, filtered, extras [][]cuts.Cut, scratches []*inferScratch) error {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -165,12 +196,15 @@ func (s *SLAP) filterLevel(ctx context.Context, emb *embed.Embedder, nodes []uin
 					return
 				}
 				n := nodes[ni]
-				out, err := s.filterNode(cctx, emb, n, sets[n], sc)
+				out, ex, err := s.filterNode(cctx, emb, n, sets[n], sc)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err; cancel() })
 					return
 				}
 				filtered[n] = out
+				if extras != nil {
+					extras[n] = ex
+				}
 			}
 		}(w)
 	}

@@ -42,6 +42,12 @@ type Cut struct {
 	// Volume is the number of AND nodes covered by the cut (root included,
 	// leaves excluded).
 	Volume int32
+	// Choice marks a cut imported from a functional equivalence-class
+	// member (see ChoiceSource): it computes the root's function but its
+	// leaves cut the member's cone, not the root's. Choice cuts feed
+	// Boolean matching like any other cut but are excluded from upward
+	// merging, whose symbolic cone evaluation requires structural cuts.
+	Choice bool
 }
 
 // IsTrivial reports whether the cut is the trivial cut {n} of its root.
@@ -229,6 +235,11 @@ type Enumerator struct {
 	// repeated mapping of the same graph shape allocates nothing in steady
 	// state (see Pool). Run ignores it.
 	Arena *Arena
+	// Choices, when non-nil, exposes functional equivalence classes: each
+	// node's merged list is enriched with its class members' cuts before the
+	// policy runs, so mapping matches across structural variants. See
+	// choice.go for the eligibility rule sources must uphold.
+	Choices ChoiceSource
 
 	// s is the sequential/owner scratch, shared with worker 0.
 	s *scratch
@@ -407,6 +418,9 @@ func (e *Enumerator) runWavefront(res *Result, capN, workers int) {
 func (e *Enumerator) processNode(s *scratch, res *Result, n uint32, capN int) {
 	f0, f1 := e.G.Fanins(n)
 	cs := s.mergeNode(n, res.Sets[f0.Node()], res.Sets[f1.Node()], capN)
+	if e.Choices != nil {
+		cs = s.enrichChoices(e, res, n, cs, capN)
+	}
 	if e.Policy != nil {
 		cs = e.Policy.Process(e.G, n, cs)
 	}
@@ -609,8 +623,14 @@ func (s *scratch) mergeNode(n uint32, cs0, cs1 []Cut, capN int) []Cut {
 	s.resetTable(est)
 	var buf [K]uint32
 	for i := range cs0 {
+		if cs0[i].Choice {
+			continue // choice cuts are not structural cuts of the fanin
+		}
 		for j := range cs1 {
 			u, v := &cs0[i], &cs1[j]
+			if v.Choice {
+				continue
+			}
 			if bits.OnesCount64(u.Sig|v.Sig) > K {
 				continue // cannot be k-feasible
 			}

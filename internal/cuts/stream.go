@@ -167,6 +167,17 @@ func (e *Enumerator) buildLevelPlan(st *streamState) {
 				}
 			}
 		}
+		// Choice members are extra consumers: a member's list must survive
+		// until every node it enriches has been merged.
+		if e.Choices != nil {
+			for _, mem := range e.Choices.MembersOf(n) {
+				if g.IsAnd(mem.Node) {
+					if lm := g.Level(mem.Node); ln > retireAfter[lm] {
+						retireAfter[lm] = ln
+					}
+				}
+			}
+		}
 	}
 
 	// Counting sort of the levels by retirement time.

@@ -150,6 +150,74 @@ func TestProxyAffinityCacheAndFailover(t *testing.T) {
 	}
 }
 
+// TestMultiRoundFleetAffinity pins the fleet contract for the multi-round
+// engine: a 4-round+choices request routes by structural hash like any
+// other, an equal-config resubmission is answered from the affine worker's
+// result cache (cached:true, identical QoR, per-round stats intact), and a
+// different round config on the same circuit is a distinct cache entry.
+func TestMultiRoundFleetAffinity(t *testing.T) {
+	_, w1 := newWorker(t, "w1")
+	_, w2 := newWorker(t, "w2")
+	_, ts := newCoordinator(t, Config{
+		Workers: []StaticWorker{{Name: "w1", URL: w1.URL}, {Name: "w2", URL: w2.URL}},
+	})
+	aag := rc16AAG(t)
+	url := ts.URL + "/v1/map?policy=default&rounds=4&choices=true"
+
+	var first server.MapResponse
+	resp, data := postCircuit(t, url, aag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first multi-round map: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first multi-round map reported cached:true on a cold fleet")
+	}
+	if first.RoundsRun != 4 || len(first.RoundStats) != 4 {
+		t.Fatalf("multi-round response lacks per-round QoR: rounds_run=%d stats=%d",
+			first.RoundsRun, len(first.RoundStats))
+	}
+
+	var second server.MapResponse
+	resp, data = postCircuit(t, url, aag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Worker != first.Worker {
+		t.Errorf("equal-config resubmission routed to %q, first to %q: affinity broken", second.Worker, first.Worker)
+	}
+	if !second.Cached {
+		t.Error("equal round-config resubmission was not served from the result cache")
+	}
+	if second.Area != first.Area || second.Delay != first.Delay || len(second.RoundStats) != 4 {
+		t.Errorf("cached multi-round mapping differs: area %v/%v delay %v/%v stats=%d",
+			second.Area, first.Area, second.Delay, first.Delay, len(second.RoundStats))
+	}
+
+	// A single-round request for the same circuit must not hit the
+	// 4-round entry.
+	var single server.MapResponse
+	resp, data = postCircuit(t, ts.URL+"/v1/map?policy=default", aag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-round map: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Cached {
+		t.Error("single-round request was served the multi-round cache entry")
+	}
+	if single.RoundsRun != 0 || len(single.RoundStats) != 0 {
+		t.Errorf("single-round response carries round stats: rounds_run=%d stats=%d",
+			single.RoundsRun, len(single.RoundStats))
+	}
+}
+
 // stubWorker is a minimal fake worker: healthy /healthz, scripted /v1/map.
 func stubWorker(t *testing.T, name string, handler http.HandlerFunc) *httptest.Server {
 	t.Helper()

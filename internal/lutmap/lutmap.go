@@ -38,6 +38,26 @@ type Options struct {
 	// storage in and out across runs of the same graph shape. Ignored by
 	// the two-phase Map.
 	Pool *cuts.Pool
+	// Rounds is the total number of selection rounds. Values <= 1 keep the
+	// classic schedule (depth pass + one area-flow pass unless
+	// NoAreaRecovery). Values > 1 run the multi-round engine: round 1 is
+	// depth-optimal, rounds 2..Rounds re-select by area flow under required
+	// depths frozen from the round-1 depth (scaled by DelayFactor), and the
+	// final round adds an exact-area (ref/deref) refinement.
+	// NoAreaRecovery forces single-round behaviour.
+	Rounds int
+	// DelayFactor scales the round-1 depth into the recovery rounds'
+	// required-depth target; values <= 1 (including zero) pin the round-1
+	// optimum.
+	DelayFactor float64
+	// Choices exposes functional equivalence classes to cut enumeration
+	// (see cuts.ChoiceSource and internal/choice). Ignored when CutSets is
+	// set.
+	Choices cuts.ChoiceSource
+	// ExtraCuts supplies per-node recovery-only cuts joining each node's
+	// list after round 1, so the depth round stays byte-identical to a
+	// single-pass run. Only consulted when Rounds > 1.
+	ExtraCuts [][]cuts.Cut
 }
 
 // LUT is one lookup table of the mapped network.
@@ -64,8 +84,32 @@ type Result struct {
 	PeakCuts int
 	// PolicyName records the policy.
 	PolicyName string
+	// RoundStats records per-round QoR when the multi-round engine ran
+	// (Options.Rounds > 1); nil for the classic schedule. Entry 0 is the
+	// depth round with the single-pass counters; CutsConsidered and
+	// PeakCuts above aggregate across rounds (sum and max respectively).
+	RoundStats []RoundStat
 
 	g *aig.AIG
+}
+
+// RoundStat is the per-round QoR record of one multi-round LUT pass.
+type RoundStat struct {
+	// Round is 1-based; round 1 is always the depth-optimal pass.
+	Round int
+	// Mode is "depth", "area-flow" or "area-flow+exact".
+	Mode string
+	// LUTs is the cover size after the round.
+	LUTs int
+	// Depth is the cover depth after the round.
+	Depth int32
+	// CutsConsidered counts cuts examined this round (enumeration total for
+	// round 1, selection candidates for recovery rounds; identical across
+	// the streaming and two-phase paths).
+	CutsConsidered int
+	// PeakCuts is the enumeration peak for round 1, the live candidate
+	// count for recovery rounds.
+	PeakCuts int
 }
 
 // NumLUTs returns the LUT count (the FPGA area metric).
@@ -86,6 +130,28 @@ type lutMapping struct {
 	flow      []float64
 	best      []lutChoice
 	fanoutEst []float64
+
+	// Multi-round state (rounds <= 1 leaves all of it inert).
+	rounds      int
+	delayFactor float64
+	extras      [][]cuts.Cut
+	refs        []int32
+	passCuts    int
+}
+
+// configureRounds installs the multi-round knobs from Options.
+func (lm *lutMapping) configureRounds(opt *Options) {
+	lm.rounds = opt.Rounds
+	if opt.NoAreaRecovery {
+		lm.rounds = 1
+	}
+	lm.delayFactor = opt.DelayFactor
+	if lm.delayFactor < 1 {
+		lm.delayFactor = 1
+	}
+	if lm.rounds > 1 {
+		lm.extras = opt.ExtraCuts
+	}
 }
 
 // newLutMapping builds the selection state; lm.sets is left for the caller.
@@ -97,6 +163,7 @@ func newLutMapping(g *aig.AIG) *lutMapping {
 		flow:      make([]float64, n),
 		best:      make([]lutChoice, n),
 		fanoutEst: make([]float64, n),
+		refs:      make([]int32, n),
 	}
 	for i := uint32(0); i < uint32(n); i++ {
 		fo := float64(g.Fanout(i))
@@ -134,6 +201,7 @@ func (lm *lutMapping) selectNode(node uint32, required []int32) {
 		if containsLeaf(c, node) {
 			continue
 		}
+		lm.passCuts++
 		d, f := lm.evalCut(c)
 		fl := f / lm.fanoutEst[node]
 		ok := required == nil && (d < bd || (d == bd && fl < bf)) ||
@@ -186,37 +254,19 @@ func (lm *lutMapping) finish(policyName string, cutsConsidered, peakCuts int, no
 	g := lm.g
 	n := g.NumNodes()
 	sets := lm.sets
-	if !noAreaRecovery {
-		// Required depths from the POs.
-		maxDepth := int32(0)
-		for _, po := range g.POs() {
-			d := nodeDepth(g, lm.depth, po.Lit.Node())
-			if d > maxDepth {
-				maxDepth = d
+	var roundStats []RoundStat
+	switch {
+	case lm.rounds > 1:
+		roundStats = lm.recoveryRounds(cutsConsidered, peakCuts)
+		cutsConsidered = 0
+		for _, rs := range roundStats {
+			cutsConsidered += rs.CutsConsidered
+			if rs.PeakCuts > peakCuts {
+				peakCuts = rs.PeakCuts
 			}
 		}
-		required := make([]int32, n)
-		for i := range required {
-			required[i] = math.MaxInt32
-		}
-		for _, po := range g.POs() {
-			if g.IsAnd(po.Lit.Node()) {
-				required[po.Lit.Node()] = maxDepth
-			}
-		}
-		// Reverse topological propagation over the current cover.
-		for node := uint32(n) - 1; node >= 1; node-- {
-			if !g.IsAnd(node) || !lm.best[node].valid || required[node] == math.MaxInt32 {
-				continue
-			}
-			c := &sets[node][lm.best[node].cutIdx]
-			for _, l := range c.Leaves {
-				if g.IsAnd(l) && required[node]-1 < required[l] {
-					required[l] = required[node] - 1
-				}
-			}
-		}
-		lm.selectPass(required)
+	case !noAreaRecovery:
+		lm.selectPass(lm.computeRequired(0))
 	}
 
 	// Cover extraction.
@@ -247,6 +297,7 @@ func (lm *lutMapping) finish(policyName string, cutsConsidered, peakCuts int, no
 		CutsConsidered: cutsConsidered,
 		PeakCuts:       peakCuts,
 		PolicyName:     policyName,
+		RoundStats:     roundStats,
 		g:              g,
 	}
 	finalDepth := make([]int32, n)
@@ -274,6 +325,244 @@ func (lm *lutMapping) finish(policyName string, cutsConsidered, peakCuts int, no
 	return out, nil
 }
 
+// computeRequired returns per-node required depths propagated backwards
+// over the current cover, with the PO requirement set to the larger of the
+// current cover depth and target (so the constraint is always feasible).
+// target 0 reproduces the classic single-recovery-pass requirement.
+func (lm *lutMapping) computeRequired(target int32) []int32 {
+	g := lm.g
+	n := g.NumNodes()
+	maxDepth := int32(0)
+	for _, po := range g.POs() {
+		if d := nodeDepth(g, lm.depth, po.Lit.Node()); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if target > maxDepth {
+		maxDepth = target
+	}
+	required := make([]int32, n)
+	for i := range required {
+		required[i] = math.MaxInt32
+	}
+	for _, po := range g.POs() {
+		if g.IsAnd(po.Lit.Node()) {
+			required[po.Lit.Node()] = maxDepth
+		}
+	}
+	// Reverse topological propagation over the current cover.
+	for node := uint32(n) - 1; node >= 1; node-- {
+		if !g.IsAnd(node) || !lm.best[node].valid || required[node] == math.MaxInt32 {
+			continue
+		}
+		c := &lm.sets[node][lm.best[node].cutIdx]
+		for _, l := range c.Leaves {
+			if g.IsAnd(l) && required[node]-1 < required[l] {
+				required[l] = required[node] - 1
+			}
+		}
+	}
+	return required
+}
+
+// recoveryRounds runs rounds 2..lm.rounds after the depth pass: extra cuts
+// join the lists, the required-depth target is frozen from the round-1
+// depth scaled by the delay factor, and each round re-selects by area flow
+// with load estimates refreshed from the previous cover; the final round
+// adds an exact-area (ref/deref) refinement. Every pass is a sequential
+// sweep, so multi-round results stay byte-identical across worker counts,
+// streaming modes and arena pools.
+func (lm *lutMapping) recoveryRounds(round1Cuts, enumPeak int) []RoundStat {
+	stats := make([]RoundStat, 0, lm.rounds)
+	luts, depth := lm.coverStats()
+	stats = append(stats, RoundStat{
+		Round: 1, Mode: "depth", LUTs: luts, Depth: depth,
+		CutsConsidered: round1Cuts, PeakCuts: enumPeak,
+	})
+	lm.appendExtras()
+	target := int32(float64(depth) * lm.delayFactor)
+	if target < depth {
+		target = depth
+	}
+	for r := 2; r <= lm.rounds; r++ {
+		lm.updateFanoutEst()
+		required := lm.computeRequired(target)
+		lm.passCuts = 0
+		lm.selectPass(required)
+		mode := "area-flow"
+		if r == lm.rounds {
+			required = lm.computeRequired(target)
+			lm.exactAreaPass(required)
+			mode = "area-flow+exact"
+		}
+		luts, depth = lm.coverStats()
+		stats = append(stats, RoundStat{
+			Round: r, Mode: mode, LUTs: luts, Depth: depth,
+			CutsConsidered: lm.passCuts, PeakCuts: lm.passCuts,
+		})
+	}
+	return stats
+}
+
+// appendExtras merges the recovery-only cut lists into lm.sets, once.
+func (lm *lutMapping) appendExtras() {
+	for n, ex := range lm.extras {
+		if len(ex) > 0 {
+			lm.sets[n] = append(lm.sets[n], ex...)
+		}
+	}
+	lm.extras = nil
+}
+
+// coverNodes returns the current cover's AND nodes in topological (id)
+// order and refreshes lm.refs with the cover's reference counts (PO
+// references included). Nodes with no valid choice are treated as leaves.
+func (lm *lutMapping) coverNodes() []uint32 {
+	g := lm.g
+	for i := range lm.refs {
+		lm.refs[i] = 0
+	}
+	needed := make([]bool, g.NumNodes())
+	var stack []uint32
+	for _, po := range g.POs() {
+		n := po.Lit.Node()
+		lm.refs[n]++
+		if g.IsAnd(n) && !needed[n] {
+			needed[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !lm.best[n].valid {
+			continue
+		}
+		c := &lm.sets[n][lm.best[n].cutIdx]
+		for _, l := range c.Leaves {
+			lm.refs[l]++
+			if g.IsAnd(l) && !needed[l] {
+				needed[l] = true
+				stack = append(stack, l)
+			}
+		}
+	}
+	var order []uint32
+	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
+		if needed[n] {
+			order = append(order, n)
+		}
+	}
+	return order
+}
+
+// coverStats returns the current cover's LUT count and depth.
+func (lm *lutMapping) coverStats() (int, int32) {
+	g := lm.g
+	cover := lm.coverNodes()
+	finalDepth := make([]int32, g.NumNodes())
+	var maxDepth int32
+	for _, n := range cover {
+		if !lm.best[n].valid {
+			continue
+		}
+		c := &lm.sets[n][lm.best[n].cutIdx]
+		var d int32
+		for _, l := range c.Leaves {
+			if g.IsAnd(l) && finalDepth[l] > d {
+				d = finalDepth[l]
+			}
+		}
+		finalDepth[n] = d + 1
+		if finalDepth[n] > maxDepth {
+			maxDepth = finalDepth[n]
+		}
+	}
+	return len(cover), maxDepth
+}
+
+// updateFanoutEst replaces covered nodes' structural load estimates with
+// the previous round's cover reference counts (the area-flow iteration);
+// uncovered nodes keep their structural estimate.
+func (lm *lutMapping) updateFanoutEst() {
+	lm.coverNodes()
+	for n := uint32(1); n < uint32(lm.g.NumNodes()); n++ {
+		if lm.g.IsAnd(n) && lm.refs[n] > 0 {
+			lm.fanoutEst[n] = float64(lm.refs[n])
+		}
+	}
+}
+
+// refCut recursively references the cone of choosing cut ci at node,
+// returning the number of LUTs newly activated (the exact-area "ref").
+func (lm *lutMapping) refCut(node uint32, ci int) int {
+	area := 1
+	c := &lm.sets[node][ci]
+	for _, l := range c.Leaves {
+		if !lm.g.IsAnd(l) {
+			continue
+		}
+		lm.refs[l]++
+		if lm.refs[l] == 1 && lm.best[l].valid {
+			area += lm.refCut(l, lm.best[l].cutIdx)
+		}
+	}
+	return area
+}
+
+// derefCut undoes refCut, returning the number of LUTs deactivated.
+func (lm *lutMapping) derefCut(node uint32, ci int) int {
+	area := 1
+	c := &lm.sets[node][ci]
+	for _, l := range c.Leaves {
+		if !lm.g.IsAnd(l) {
+			continue
+		}
+		lm.refs[l]--
+		if lm.refs[l] == 0 && lm.best[l].valid {
+			area += lm.derefCut(l, lm.best[l].cutIdx)
+		}
+	}
+	return area
+}
+
+// exactAreaPass re-selects covered nodes minimising exact local area (the
+// LUTs freed if the node's cone were removed), subject to required depths —
+// the LUT analogue of the ASIC mapper's exact-area refinement.
+func (lm *lutMapping) exactAreaPass(required []int32) {
+	cover := lm.coverNodes()
+	for _, node := range cover {
+		if lm.refs[node] == 0 || !lm.best[node].valid {
+			continue
+		}
+		cur := lm.best[node].cutIdx
+		lm.derefCut(node, cur)
+		bestIdx := cur
+		bestArea := lm.refCut(node, cur)
+		lm.derefCut(node, cur)
+		bestDepth, _ := lm.evalCut(&lm.sets[node][cur])
+		for ci := range lm.sets[node] {
+			c := &lm.sets[node][ci]
+			if containsLeaf(c, node) {
+				continue
+			}
+			lm.passCuts++
+			d, _ := lm.evalCut(c)
+			if d > required[node] {
+				continue
+			}
+			area := lm.refCut(node, ci)
+			lm.derefCut(node, ci)
+			if area < bestArea || (area == bestArea && d < bestDepth) {
+				bestArea, bestDepth, bestIdx = area, d, ci
+			}
+		}
+		lm.refCut(node, bestIdx)
+		lm.best[node] = lutChoice{cutIdx: bestIdx, valid: true}
+		lm.depth[node] = bestDepth
+	}
+}
+
 // Map covers g with K-feasible LUTs minimising depth, then recovers area
 // under depth constraints.
 func Map(g *aig.AIG, opt Options) (*Result, error) {
@@ -283,7 +572,7 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		res = opt.CutSets
 		policyName = "precomputed"
 	} else {
-		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers}
+		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers, Choices: opt.Choices}
 		res = e.Run()
 		if opt.Policy != nil {
 			policyName = opt.Policy.Name()
@@ -294,6 +583,7 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 
 	lm := newLutMapping(g)
 	lm.sets = sets
+	lm.configureRounds(&opt)
 
 	// Pass 1: depth-optimal choice per node.
 	lm.selectPass(nil)

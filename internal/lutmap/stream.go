@@ -34,6 +34,8 @@ func NewStream(g *aig.AIG, opt Options) *Stream {
 	}
 	lm := newLutMapping(g)
 	lm.sets = make([][]cuts.Cut, g.NumNodes())
+	lm.configureRounds(&opt)
+	lm.extras = nil // streaming extras arrive through ConsumeExtras
 	return &Stream{
 		lm:         lm,
 		noAreaRec:  opt.NoAreaRecovery,
@@ -98,6 +100,34 @@ func (st *Stream) ConsumeNode(n uint32, cs []cuts.Cut) {
 	lm.selectNode(n, nil)
 }
 
+// ConsumeExtras ingests recovery-only cuts for node n (see
+// Options.ExtraCuts): non-self cuts are copied into stream-owned storage
+// and join the node's list after the depth round completes. No-op unless
+// Rounds > 1.
+func (st *Stream) ConsumeExtras(n uint32, cs []cuts.Cut) {
+	lm := st.lm
+	if lm.rounds <= 1 {
+		return
+	}
+	var list []cuts.Cut
+	for i := range cs {
+		c := &cs[i]
+		if containsLeaf(c, n) {
+			continue
+		}
+		cc := *c
+		cc.Leaves = st.internLeaves(c.Leaves)
+		list = append(list, cc)
+	}
+	if list == nil {
+		return
+	}
+	if lm.extras == nil {
+		lm.extras = make([][]cuts.Cut, lm.g.NumNodes())
+	}
+	lm.extras[n] = list
+}
+
 // SetPeakCuts records the enumerator's peak live-cut count for the Result.
 func (st *Stream) SetPeakCuts(peak int) { st.peakCuts = peak }
 
@@ -121,7 +151,7 @@ func MapStream(g *aig.AIG, opt Options) (*Result, error) {
 		arena = opt.Pool.Get(g)
 		defer opt.Pool.Put(arena)
 	}
-	e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers, Arena: arena}
+	e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers, Arena: arena, Choices: opt.Choices}
 	res, err := e.RunStream(func(_ int32, nodes []uint32, sets [][]cuts.Cut) error {
 		for _, n := range nodes {
 			st.ConsumeNode(n, sets[n])

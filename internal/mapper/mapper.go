@@ -57,6 +57,27 @@ type Options struct {
 	// from a single goroutine. Ignored when CutSets is supplied. Snapshot.
 	// Capture fits this hook to record an ECO baseline.
 	CaptureCuts func(n uint32, cs []cuts.Cut)
+	// Rounds is the total number of selection rounds. Values <= 1 keep the
+	// classic schedule (delay pass + the two recovery passes unless
+	// NoAreaRecovery). Values > 1 run the multi-round engine: round 1 is
+	// the delay-optimal pass, rounds 2..Rounds re-select the cover by area
+	// flow under required times frozen from the round-1 delay (scaled by
+	// DelayFactor), with an exact-area refinement on the final round.
+	// NoAreaRecovery forces single-round behaviour.
+	Rounds int
+	// DelayFactor scales the round-1 delay into the required-time target of
+	// the recovery rounds: 1.0 (and anything below, including the zero
+	// value) pins the round-1 optimum, larger values trade slack for area.
+	DelayFactor float64
+	// Choices exposes functional equivalence classes to cut enumeration so
+	// matching sees the union of each class's structural variants (see
+	// cuts.ChoiceSource and internal/choice). Ignored when CutSets is set.
+	Choices cuts.ChoiceSource
+	// ExtraCuts supplies per-node recovery-only cuts (indexed by node id):
+	// they join the node's list after round 1 completes, so the delay round
+	// stays byte-identical to a single-pass run while later rounds select
+	// from a wider, still model-vetted pool. Only consulted when Rounds > 1.
+	ExtraCuts [][]cuts.Cut
 }
 
 // DefaultMaxFanout is the post-mapping fanout bound.
@@ -90,6 +111,35 @@ type Result struct {
 	// "cuts used to deliver the mapping" that become training datapoints in
 	// the SLAP data-generation flow.
 	Cover []CoverEntry
+	// RoundStats records per-round QoR when the multi-round engine ran
+	// (Options.Rounds > 1); nil for the classic schedule. Entry 0 is the
+	// delay round, whose CutsConsidered/PeakCuts equal the single-pass
+	// numbers; CutsConsidered and PeakCuts above aggregate across rounds
+	// (sum and max respectively).
+	RoundStats []RoundStat
+}
+
+// RoundStat is the per-round QoR and cost record of one multi-round pass.
+type RoundStat struct {
+	// Round is 1-based; round 1 is always the delay-optimal pass.
+	Round int
+	// Mode names the selection goal: "delay", "area-flow" or
+	// "area-flow+exact" (final round).
+	Mode string
+	// EstArea is the summed cell area of the round's cover (polarity
+	// inverters included, PO buffering excluded).
+	EstArea float64
+	// EstDelay is the mapper's arrival-time estimate after the round.
+	EstDelay float64
+	// CutsConsidered counts cuts exposed to matching this round: the full
+	// enumeration total for round 1, matchable candidates examined for
+	// recovery rounds. Identical across the streaming and two-phase paths.
+	CutsConsidered int
+	// PeakCuts is the enumeration peak for round 1 and the live matchable
+	// candidate count for recovery rounds.
+	PeakCuts int
+	// MatchAttempts counts (cut, gate) pairs evaluated this round.
+	MatchAttempts int
 }
 
 // CoverEntry is one selected cut of the final cover.
@@ -126,6 +176,33 @@ type mapping struct {
 
 	maxFanout     int
 	matchAttempts int
+
+	// Multi-round state (rounds <= 1 leaves all of it inert).
+	rounds      int
+	delayFactor float64
+	extras      [][]cuts.Cut
+	passCuts    int
+	// flowRef, when non-nil, overrides fanoutEst as the area-flow divisor:
+	// the recovery rounds refresh it from the previous cover's reference
+	// counts. The delay model (gate loads in evalMatch/computeRequiredAt)
+	// always keeps the structural fanoutEst, so round-1 required times stay
+	// valid across every recovery round.
+	flowRef []float64
+}
+
+// configureRounds installs the multi-round knobs from Options.
+func (m *mapping) configureRounds(opt *Options) {
+	m.rounds = opt.Rounds
+	if opt.NoAreaRecovery {
+		m.rounds = 1
+	}
+	m.delayFactor = opt.DelayFactor
+	if m.delayFactor < 1 {
+		m.delayFactor = 1
+	}
+	if m.rounds > 1 {
+		m.extras = opt.ExtraCuts
+	}
 }
 
 // newMapping builds the per-node selection state shared by the two-phase
@@ -168,7 +245,7 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 		res = opt.CutSets
 		policyName = "precomputed"
 	} else {
-		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers}
+		e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers, Choices: opt.Choices}
 		res = e.Run()
 		if opt.Policy != nil {
 			policyName = opt.Policy.Name()
@@ -185,6 +262,7 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 
 	m := newMapping(g, opt.Library, opt.MaxFanout)
 	m.sets = res.Sets
+	m.configureRounds(&opt)
 
 	cutsConsidered := m.ensureMappable()
 	cutsConsidered += totalCuts(g, res)
@@ -203,8 +281,20 @@ func Map(g *aig.AIG, opt Options) (*Result, error) {
 // by Map and the streaming Stream.Finish (whose delay pass happened
 // incrementally inside the wavefront).
 func (m *mapping) finish(noAreaRecovery bool, policyName string, cutsConsidered, peakCuts int) (*Result, error) {
-	// Passes 2 and 3: area recovery under required-time constraints.
-	if !noAreaRecovery {
+	var roundStats []RoundStat
+	switch {
+	case m.rounds > 1:
+		roundStats = m.recoveryRounds(cutsConsidered, peakCuts)
+		cutsConsidered = 0
+		for _, rs := range roundStats {
+			cutsConsidered += rs.CutsConsidered
+			if rs.PeakCuts > peakCuts {
+				peakCuts = rs.PeakCuts
+			}
+		}
+	case !noAreaRecovery:
+		// Classic schedule: one area-flow pass and one exact-area pass
+		// under required times from the delay-optimal cover.
 		m.computeRequired()
 		m.selectAll(selectAreaFlow)
 		m.computeRequired()
@@ -237,7 +327,92 @@ func (m *mapping) finish(noAreaRecovery bool, policyName string, cutsConsidered,
 		EstimatedDelay: m.globalDelay(),
 		PeakCuts:       peakCuts,
 		Cover:          cover,
+		RoundStats:     roundStats,
 	}, nil
+}
+
+// recoveryRounds runs rounds 2..m.rounds after the delay pass: recovery-only
+// extra cuts join the lists, required times are frozen from the round-1
+// delay scaled by the delay factor, and each round re-selects the cover by
+// area flow with load estimates refreshed from the previous round's cover —
+// the final round adds an exact-area refinement. Every pass is a sequential
+// sweep over the retained cut lists, so results are byte-identical for any
+// worker count, streaming mode or arena pool: parallelism only ever touched
+// enumeration, which is already finished.
+func (m *mapping) recoveryRounds(round1Cuts, enumPeak int) []RoundStat {
+	stats := make([]RoundStat, 0, m.rounds)
+	stats = append(stats, RoundStat{
+		Round: 1, Mode: "delay",
+		EstArea: m.coverArea(), EstDelay: m.globalDelay(),
+		CutsConsidered: round1Cuts, PeakCuts: enumPeak,
+		MatchAttempts: m.matchAttempts,
+	})
+	m.appendExtras()
+	target := m.globalDelay() * m.delayFactor
+	for r := 2; r <= m.rounds; r++ {
+		m.updateFlowRefs()
+		m.computeRequiredAt(target)
+		m.passCuts = 0
+		prevAttempts := m.matchAttempts
+		m.selectAll(selectAreaFlow)
+		mode := "area-flow"
+		if r == m.rounds {
+			m.computeRequiredAt(target)
+			m.exactAreaPass()
+			mode = "area-flow+exact"
+		}
+		stats = append(stats, RoundStat{
+			Round: r, Mode: mode,
+			EstArea: m.coverArea(), EstDelay: m.globalDelay(),
+			CutsConsidered: m.passCuts, PeakCuts: m.passCuts,
+			MatchAttempts: m.matchAttempts - prevAttempts,
+		})
+	}
+	return stats
+}
+
+// coverArea sums the matched cell area of the current cover (polarity
+// inverters included; PO buffering happens later and is excluded).
+func (m *mapping) coverArea() float64 {
+	area := 0.0
+	for _, n := range m.coverNodes() {
+		if b := &m.best[n]; b.valid {
+			area += m.matchArea(&b.match)
+		}
+	}
+	return area
+}
+
+// appendExtras merges the recovery-only cut lists into m.sets, once.
+func (m *mapping) appendExtras() {
+	for n, ex := range m.extras {
+		if len(ex) > 0 {
+			m.sets[n] = append(m.sets[n], ex...)
+		}
+	}
+	m.extras = nil
+}
+
+// updateFlowRefs refreshes the area-flow divisors from the previous
+// round's cover reference counts — the standard area-flow iteration: flow
+// divisors converge toward the sharing the cover actually realises.
+// Uncovered nodes keep their structural estimate. Only the flow divisor
+// moves; gate loads (and with them every arrival and required time) keep
+// the structural fanoutEst, so the round-1 delay target stays enforceable.
+func (m *mapping) updateFlowRefs() {
+	m.coverNodes() // refreshes m.refs
+	if m.flowRef == nil {
+		m.flowRef = make([]float64, m.g.NumNodes())
+		copy(m.flowRef, m.fanoutEst)
+	}
+	for n := uint32(1); n < uint32(m.g.NumNodes()); n++ {
+		if !m.g.IsAnd(n) {
+			continue
+		}
+		if r := m.refs[n]; r > 0 {
+			m.flowRef[n] = float64(r)
+		}
+	}
 }
 
 func totalCuts(g *aig.AIG, res *cuts.Result) int {
@@ -330,7 +505,11 @@ func (m *mapping) selectAll(mode selectMode) {
 			if containsLeaf(c, n) {
 				continue
 			}
-			for _, match := range m.lib.Matches(c.TT) {
+			matches := m.lib.Matches(c.TT)
+			if len(matches) > 0 {
+				m.passCuts++
+			}
+			for _, match := range matches {
 				m.matchAttempts++
 				arr, flw := m.evalMatch(n, c, &match)
 				cand := chosen{cutIdx: ci, match: match, valid: true, arrival: arr, flow: flw}
@@ -414,8 +593,17 @@ func (m *mapping) evalMatch(n uint32, c *cuts.Cut, match *library.Match) (float6
 		arr += m.lib.Inv.PinDelay(load)
 		area += m.lib.Inv.Area
 	}
-	flow := (area + flowSum) / m.fanoutEst[n]
+	flow := (area + flowSum) / m.flowDiv(n)
 	return arr, flow
+}
+
+// flowDiv is the area-flow divisor of n: the structural fanout estimate,
+// or the recovery rounds' cover-derived reference count once installed.
+func (m *mapping) flowDiv(n uint32) float64 {
+	if m.flowRef != nil {
+		return m.flowRef[n]
+	}
+	return m.fanoutEst[n]
 }
 
 func (m *mapping) leafArrival(leaf uint32) float64 {
@@ -450,11 +638,22 @@ func (m *mapping) globalDelay() float64 {
 }
 
 // computeRequired propagates required times backwards over the current
-// cover. Nodes outside the cover get +inf (unconstrained).
+// cover with the current global delay as the PO requirement.
 func (m *mapping) computeRequired() {
+	m.computeRequiredAt(m.globalDelay())
+}
+
+// computeRequiredAt is computeRequired with an explicit PO requirement
+// (the multi-round engine freezes it from the round-1 delay). The current
+// global delay still floors the target so the constraint stays feasible.
+// Nodes outside the cover get +inf (unconstrained).
+func (m *mapping) computeRequiredAt(target float64) {
 	g := m.g
 	invD := m.lib.Inv.PinDelay(1)
-	d := m.globalDelay()
+	d := target
+	if gd := m.globalDelay(); gd > d {
+		d = gd
+	}
 	for i := range m.required {
 		m.required[i] = math.Inf(1)
 	}
@@ -610,7 +809,11 @@ func (m *mapping) exactAreaPass() {
 			if containsLeaf(c, n) {
 				continue
 			}
-			for _, match := range m.lib.Matches(c.TT) {
+			matches := m.lib.Matches(c.TT)
+			if len(matches) > 0 {
+				m.passCuts++
+			}
+			for _, match := range matches {
 				arr, flw := m.evalMatch(n, c, &match)
 				if arr > m.required[n]+eps {
 					continue

@@ -49,6 +49,8 @@ func NewStream(g *aig.AIG, opt Options) (*Stream, error) {
 	}
 	m := newMapping(g, opt.Library, opt.MaxFanout)
 	m.sets = make([][]cuts.Cut, g.NumNodes())
+	m.configureRounds(&opt)
+	m.extras = nil // streaming extras arrive through ConsumeExtras
 	return &Stream{m: m, noAreaRec: opt.NoAreaRecovery, policyName: policyName}, nil
 }
 
@@ -132,6 +134,35 @@ func (st *Stream) ConsumeNode(n uint32, cs []cuts.Cut) {
 	m.flow[n] = bestC.flow
 }
 
+// ConsumeExtras ingests recovery-only cuts for node n (the multi-round
+// engine's wider pool — see Options.ExtraCuts). The cuts are borrowed like
+// ConsumeNode's: matchable ones are copied into stream-owned storage and
+// join the node's list only after round 1 completes, so the delay round
+// stays byte-identical to a single-pass run. No-op unless Rounds > 1.
+func (st *Stream) ConsumeExtras(n uint32, cs []cuts.Cut) {
+	m := st.m
+	if m.rounds <= 1 {
+		return
+	}
+	var list []cuts.Cut
+	for i := range cs {
+		c := &cs[i]
+		if containsLeaf(c, n) || len(m.lib.Matches(c.TT)) == 0 {
+			continue
+		}
+		cc := *c
+		cc.Leaves = st.internLeaves(c.Leaves)
+		list = append(list, cc)
+	}
+	if list == nil {
+		return
+	}
+	if m.extras == nil {
+		m.extras = make([][]cuts.Cut, m.g.NumNodes())
+	}
+	m.extras[n] = list
+}
+
 // SetPeakCuts records the enumerator's peak live-cut count for the Result.
 func (st *Stream) SetPeakCuts(peak int) { st.peakCuts = peak }
 
@@ -163,7 +194,7 @@ func MapStream(g *aig.AIG, opt Options) (*Result, error) {
 		arena = opt.Pool.Get(g)
 		defer opt.Pool.Put(arena)
 	}
-	e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers, Arena: arena}
+	e := &cuts.Enumerator{G: g, Policy: opt.Policy, MergeCap: opt.MergeCap, Workers: opt.Workers, Arena: arena, Choices: opt.Choices}
 	res, err := e.RunStream(func(_ int32, nodes []uint32, sets [][]cuts.Cut) error {
 		for _, n := range nodes {
 			if opt.CaptureCuts != nil {

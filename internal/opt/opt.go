@@ -7,6 +7,7 @@
 package opt
 
 import (
+	"math/rand"
 	"sort"
 
 	"slap/internal/aig"
@@ -71,6 +72,27 @@ func Sweep(g *aig.AIG) *aig.AIG {
 // levels), reducing the subject-graph depth that delay-oriented mapping
 // starts from. The result is functionally equivalent.
 func Balance(g *aig.AIG) *aig.AIG {
+	return balanceWith(g, buildBalanced)
+}
+
+// BalanceSeeded is Balance with a seeded tie-break: operands at equal level
+// are paired in a pseudo-random (but seed-deterministic) order instead of
+// collection order. The result is functionally equivalent to Balance and
+// still depth-minimal per tree, but structurally distinct for different
+// seeds — exactly the diversity internal/choice wants when it grafts
+// several variants into one choice view.
+func BalanceSeeded(g *aig.AIG, seed int64) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	return balanceWith(g, func(out *aig.AIG, ls []aig.Lit, levelOf func(aig.Lit) int32) aig.Lit {
+		if len(ls) > 1 {
+			ls = append([]aig.Lit(nil), ls...)
+			rng.Shuffle(len(ls), func(i, j int) { ls[i], ls[j] = ls[j], ls[i] })
+		}
+		return buildBalanced(out, ls, levelOf)
+	})
+}
+
+func balanceWith(g *aig.AIG, build func(*aig.AIG, []aig.Lit, func(aig.Lit) int32) aig.Lit) *aig.AIG {
 	out := aig.New(g.Name)
 	old2new := make([]aig.Lit, g.NumNodes())
 	for i := range old2new {
@@ -141,7 +163,7 @@ func Balance(g *aig.AIG) *aig.AIG {
 		f0, f1 := g.Fanins(n)
 		collect(f0, &leaves)
 		collect(f1, &leaves)
-		old2new[n] = buildBalanced(out, mapLeaves(leaves, mapLit, g, &old2new, out), levelOf)
+		old2new[n] = build(out, mapLeaves(leaves, mapLit, g, &old2new, out), levelOf)
 	}
 	for _, po := range g.POs() {
 		l := po.Lit
@@ -152,7 +174,7 @@ func Balance(g *aig.AIG) *aig.AIG {
 			f0, f1 := g.Fanins(l.Node())
 			collect(f0, &leaves)
 			collect(f1, &leaves)
-			old2new[l.Node()] = buildBalanced(out, mapLeaves(leaves, mapLit, g, &old2new, out), levelOf)
+			old2new[l.Node()] = build(out, mapLeaves(leaves, mapLit, g, &old2new, out), levelOf)
 		}
 		out.AddPO(po.Name, mapLit(l))
 	}

@@ -40,6 +40,9 @@ func (s *Server) cachedMapASIC(ctx context.Context, req *MapRequest, g *aig.AIG,
 		sl := core.New(model, lib)
 		sl.Workers = workers
 		sl.Batch = s.batcherFor(model)
+		sl.Rounds = req.Rounds
+		sl.DelayFactor = req.DelayFactor
+		sl.Choices = req.Choices
 		if streaming {
 			sl.Pool = s.pool
 		}
@@ -80,9 +83,26 @@ func (s *Server) cachedMapASIC(ctx context.Context, req *MapRequest, g *aig.AIG,
 	case "shuffle":
 		seed = req.Seed
 	}
-	sig := fmt.Sprintf("asic/policy=%s/limit=%d/seed=%d/lib=%s@%p", policy, limit, seed, lib.Name, lib)
+	rounds := req.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	df := req.DelayFactor
+	if df < 1 {
+		df = 1
+	}
+	sig := fmt.Sprintf("asic/policy=%s/limit=%d/seed=%d/lib=%s@%p/rounds=%d/df=%g/choices=%v",
+		policy, limit, seed, lib.Name, lib, rounds, df, req.Choices)
 	key := mapcache.KeyOf(g, sig)
-	opt := mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers}
+	// ECO snapshots and delta remapping are defined for the single-round,
+	// no-choice flow only; multi-round configurations still get exact-key
+	// caching and singleflight, their entries just carry no snapshot.
+	simple := rounds <= 1 && !req.Choices
+	mg, ch := requestChoiceView(g, req.Choices)
+	opt := mapper.Options{
+		Library: lib, Policy: cutPolicy, Workers: workers,
+		Rounds: req.Rounds, DelayFactor: req.DelayFactor, Choices: ch,
+	}
 	verify := func(r *mapper.Result) bool {
 		return r.Netlist.EquivalentTo(g, 8, rand.New(rand.NewSource(99))) == nil
 	}
@@ -95,12 +115,15 @@ func (s *Server) cachedMapASIC(ctx context.Context, req *MapRequest, g *aig.AIG,
 			served.cached = true
 			return e, nil
 		}
-		if s.cfg.ECO {
+		if s.cfg.ECO && simple {
 			if e, ok := s.tryMapperDelta(g, sig, key, opt, req.Verify, verify, served); ok {
 				return e, nil
 			}
 		}
-		snap := mapper.NewSnapshot(g, opt) // nil for non-ECO-eligible policies (shuffle)
+		var snap *mapper.Snapshot
+		if simple {
+			snap = mapper.NewSnapshot(g, opt) // nil for non-ECO-eligible policies (shuffle)
+		}
 		capOpt := opt
 		if snap != nil {
 			capOpt.CaptureCuts = snap.Capture
@@ -109,9 +132,9 @@ func (s *Server) cachedMapASIC(ctx context.Context, req *MapRequest, g *aig.AIG,
 		var err error
 		if streaming {
 			capOpt.Pool = s.pool
-			res, err = mapper.MapStream(g, capOpt)
+			res, err = mapper.MapStream(mg, capOpt)
 		} else {
-			res, err = mapper.Map(g, capOpt)
+			res, err = mapper.Map(mg, capOpt)
 		}
 		if err != nil {
 			return nil, err

@@ -37,6 +37,15 @@ var queueWaitBuckets = []float64{
 // Small fractions are the payoff region, so the buckets concentrate there.
 var dirtyFractionBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 0.9}
 
+// roundsBuckets are the upper bounds of the selection-rounds histogram:
+// 1 is the classic single-pass schedule, everything above is multi-round.
+var roundsBuckets = []float64{1, 2, 3, 4, 6, 8}
+
+// roundGainBuckets are the upper bounds of the multi-round relative
+// area-improvement histogram (final round vs round-1 delay cover);
+// regressions (negative gain) land in the first bucket.
+var roundGainBuckets = []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5}
+
 // Metrics aggregates service observability: per-endpoint/status request
 // counts, a global latency histogram, cut throughput, and the scheduler's
 // queue/inflight gauges. It renders both Prometheus text (GET /metrics)
@@ -69,6 +78,14 @@ type Metrics struct {
 	dirtyBuckets []int64
 	dirtySum     float64
 	dirtyCount   int64
+	// Multi-round mapping telemetry: selection rounds per mapping and the
+	// relative area improvement recovery bought over the round-1 cover.
+	roundBuckets []int64
+	roundSum     int64
+	roundCount   int64
+	gainBuckets  []int64
+	gainSum      float64
+	gainCount    int64
 	// degraded reports current degradation reasons (nil = never degraded);
 	// set once at server assembly, read at scrape time.
 	degraded func() []string
@@ -92,6 +109,8 @@ func NewMetrics(sched *Scheduler) *Metrics {
 		batchBuckets:   make([]int64, len(batchSizeBuckets)+1),
 		waitBuckets:    make([]int64, len(queueWaitBuckets)+1),
 		dirtyBuckets:   make([]int64, len(dirtyFractionBuckets)+1),
+		roundBuckets:   make([]int64, len(roundsBuckets)+1),
+		gainBuckets:    make([]int64, len(roundGainBuckets)+1),
 		flushesByCause: make(map[infer.FlushReason]int64),
 	}
 }
@@ -177,6 +196,27 @@ func (m *Metrics) ObserveDirtyFraction(f float64) {
 	m.mu.Unlock()
 }
 
+// ObserveRounds records how many selection rounds one mapping executed
+// (1 for the classic single-pass schedule).
+func (m *Metrics) ObserveRounds(rounds int) {
+	m.mu.Lock()
+	m.roundBuckets[sort.SearchFloat64s(roundsBuckets, float64(rounds))]++
+	m.roundSum += int64(rounds)
+	m.roundCount++
+	m.mu.Unlock()
+}
+
+// ObserveRoundAreaGain records the relative area (asic) or LUT-count (lut)
+// improvement of a multi-round mapping's final round over its round-1
+// delay/depth cover.
+func (m *Metrics) ObserveRoundAreaGain(g float64) {
+	m.mu.Lock()
+	m.gainBuckets[sort.SearchFloat64s(roundGainBuckets, g)]++
+	m.gainSum += g
+	m.gainCount++
+	m.mu.Unlock()
+}
+
 // ObservePeakCuts records one mapping's peak live-cut count, keeping the
 // high-water mark across all mappings.
 func (m *Metrics) ObservePeakCuts(n int) {
@@ -227,6 +267,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	peakCutsMax := m.peakCutsMax
 	dirtyBuckets := append([]int64(nil), m.dirtyBuckets...)
 	dirtySum, dirtyCount := m.dirtySum, m.dirtyCount
+	roundBuckets := append([]int64(nil), m.roundBuckets...)
+	roundSum, roundCount := m.roundSum, m.roundCount
+	gainBuckets := append([]int64(nil), m.gainBuckets...)
+	gainSum, gainCount := m.gainSum, m.gainCount
 	m.mu.Unlock()
 
 	sort.Slice(rows, func(i, j int) bool {
@@ -379,6 +423,30 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "slap_eco_dirty_fraction_bucket{le=\"+Inf\"} %d\n", dcum)
 	fmt.Fprintf(w, "slap_eco_dirty_fraction_sum %g\n", dirtySum)
 	fmt.Fprintf(w, "slap_eco_dirty_fraction_count %d\n", dirtyCount)
+
+	fmt.Fprintln(w, "# HELP slap_map_rounds Selection rounds executed per mapping (1 = classic single pass).")
+	fmt.Fprintln(w, "# TYPE slap_map_rounds histogram")
+	var rcum int64
+	for i, ub := range roundsBuckets {
+		rcum += roundBuckets[i]
+		fmt.Fprintf(w, "slap_map_rounds_bucket{le=\"%g\"} %d\n", ub, rcum)
+	}
+	rcum += roundBuckets[len(roundsBuckets)]
+	fmt.Fprintf(w, "slap_map_rounds_bucket{le=\"+Inf\"} %d\n", rcum)
+	fmt.Fprintf(w, "slap_map_rounds_sum %d\n", roundSum)
+	fmt.Fprintf(w, "slap_map_rounds_count %d\n", roundCount)
+
+	fmt.Fprintln(w, "# HELP slap_map_round_area_gain Relative area improvement of the final recovery round over the round-1 cover.")
+	fmt.Fprintln(w, "# TYPE slap_map_round_area_gain histogram")
+	var gcum int64
+	for i, ub := range roundGainBuckets {
+		gcum += gainBuckets[i]
+		fmt.Fprintf(w, "slap_map_round_area_gain_bucket{le=\"%g\"} %d\n", ub, gcum)
+	}
+	gcum += gainBuckets[len(roundGainBuckets)]
+	fmt.Fprintf(w, "slap_map_round_area_gain_bucket{le=\"+Inf\"} %d\n", gcum)
+	fmt.Fprintf(w, "slap_map_round_area_gain_sum %g\n", gainSum)
+	fmt.Fprintf(w, "slap_map_round_area_gain_count %d\n", gainCount)
 
 	fmt.Fprintln(w, "# HELP slap_peak_live_cuts Largest simultaneously-live cut count any mapping reported.")
 	fmt.Fprintln(w, "# TYPE slap_peak_live_cuts gauge")

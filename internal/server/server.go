@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"slap/internal/aig"
+	"slap/internal/choice"
 	"slap/internal/core"
 	"slap/internal/cuts"
 	"slap/internal/infer"
@@ -291,6 +292,17 @@ type MapRequest struct {
 	Verify bool `json:"verify"`
 	// Detail requests per-node classes from /v1/classify.
 	Detail bool `json:"detail"`
+	// Rounds is the number of selection rounds: <= 1 keeps the classic
+	// single-pass schedule, N > 1 runs the multi-round engine (round 1
+	// delay/depth-optimal, then area-recovery rounds, exact-area last).
+	Rounds int `json:"rounds"`
+	// DelayFactor scales the round-1 delay into the recovery rounds'
+	// required-time target; values <= 1 (including unset) pin the round-1
+	// optimum.
+	DelayFactor float64 `json:"delay_factor"`
+	// Choices maps over a structural-choice view of the circuit, so
+	// matching sees the union of each node's rewrite variants.
+	Choices bool `json:"choices"`
 }
 
 // MapResponse is the JSON answer of POST /v1/map.
@@ -316,6 +328,67 @@ type MapResponse struct {
 	DirtyFraction  float64 `json:"dirty_fraction,omitempty"`
 	Netlist        string  `json:"netlist,omitempty"`
 	NetlistFormat  string  `json:"netlist_format,omitempty"`
+	// RoundsRun and RoundStats report per-round QoR when the multi-round
+	// engine ran; absent on classic single-pass mappings.
+	RoundsRun  int        `json:"rounds_run,omitempty"`
+	RoundStats []RoundQoR `json:"round_stats,omitempty"`
+}
+
+// RoundQoR is one round's QoR record in a multi-round mapping response.
+// Area/Delay report the asic cover estimate, LUTs/Depth the lut cover.
+type RoundQoR struct {
+	Round          int     `json:"round"`
+	Mode           string  `json:"mode"`
+	Area           float64 `json:"area,omitempty"`
+	Delay          float64 `json:"delay,omitempty"`
+	LUTs           int     `json:"luts,omitempty"`
+	Depth          int32   `json:"depth,omitempty"`
+	CutsConsidered int     `json:"cuts_considered"`
+	PeakCuts       int     `json:"peak_cuts,omitempty"`
+}
+
+// asicRounds converts mapper round stats into response records.
+func asicRounds(stats []mapper.RoundStat) (int, []RoundQoR) {
+	if len(stats) == 0 {
+		return 0, nil
+	}
+	out := make([]RoundQoR, len(stats))
+	for i, st := range stats {
+		out[i] = RoundQoR{
+			Round: st.Round, Mode: st.Mode,
+			Area: st.EstArea, Delay: st.EstDelay,
+			CutsConsidered: st.CutsConsidered, PeakCuts: st.PeakCuts,
+		}
+	}
+	return len(stats), out
+}
+
+// lutRounds converts lutmap round stats into response records.
+func lutRounds(stats []lutmap.RoundStat) (int, []RoundQoR) {
+	if len(stats) == 0 {
+		return 0, nil
+	}
+	out := make([]RoundQoR, len(stats))
+	for i, st := range stats {
+		out[i] = RoundQoR{
+			Round: st.Round, Mode: st.Mode,
+			LUTs: st.LUTs, Depth: st.Depth,
+			CutsConsidered: st.CutsConsidered, PeakCuts: st.PeakCuts,
+		}
+	}
+	return len(stats), out
+}
+
+// roundAreaGain is the relative area (asic) or LUT-count (lut) improvement
+// of the final recovery round over the round-1 delay/depth cover.
+func roundAreaGain(first, last RoundQoR) (float64, bool) {
+	switch {
+	case first.Area > 0:
+		return (first.Area - last.Area) / first.Area, true
+	case first.LUTs > 0:
+		return float64(first.LUTs-last.LUTs) / float64(first.LUTs), true
+	}
+	return 0, false
 }
 
 // ClassifyResponse is the JSON answer of POST /v1/classify.
@@ -431,6 +504,9 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*MapReque
 		req.TimeoutMS = queryInt64(q.Get("timeout_ms"))
 		req.Verify = queryBool(q.Get("verify"))
 		req.Detail = queryBool(q.Get("detail"))
+		req.Rounds = int(queryInt64(q.Get("rounds")))
+		req.DelayFactor = queryFloat(q.Get("delay_factor"))
+		req.Choices = queryBool(q.Get("choices"))
 	}
 	if strings.TrimSpace(req.Circuit) == "" {
 		return nil, nil, http.StatusBadRequest, fmt.Errorf("empty circuit: send AIGER/BLIF text as the body, or a JSON envelope with a \"circuit\" field")
@@ -450,6 +526,24 @@ func queryInt64(s string) int64 {
 func queryBool(s string) bool {
 	v, _ := strconv.ParseBool(s)
 	return v
+}
+
+func queryFloat(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// requestChoiceView builds the graph a request maps over: the original, or
+// — when the client asked for structural choices — a combined choice view
+// whose equivalence classes the enumerator exposes to matching. The view
+// shares the base PIs/POs, so verification and netlist emission still run
+// against the client's circuit.
+func requestChoiceView(g *aig.AIG, choices bool) (*aig.AIG, cuts.ChoiceSource) {
+	if !choices {
+		return g, nil
+	}
+	v := choice.Build(g, choice.Options{})
+	return v.G, v
 }
 
 // timeoutFor clamps a client-requested timeout to the server's cap.
@@ -645,6 +739,16 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		if resp != nil {
 			s.metrics.AddCuts(resp.CutsConsidered)
 			s.metrics.ObservePeakCuts(resp.PeakCuts)
+			rounds := resp.RoundsRun
+			if rounds < 1 {
+				rounds = 1
+			}
+			s.metrics.ObserveRounds(rounds)
+			if n := len(resp.RoundStats); n > 1 {
+				if gain, ok := roundAreaGain(resp.RoundStats[0], resp.RoundStats[n-1]); ok {
+					s.metrics.ObserveRoundAreaGain(gain)
+				}
+			}
 		}
 		ch <- outcome{resp, err}
 	}()
@@ -714,16 +818,27 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 			sl := core.New(model, lib)
 			sl.Workers = workers
 			sl.Batch = s.batcherFor(model)
+			sl.Rounds = req.Rounds
+			sl.DelayFactor = req.DelayFactor
+			sl.Choices = req.Choices
 			if streaming {
 				sl.Pool = s.pool
 				res, err = sl.MapLUTStreamContext(ctx, g)
 			} else {
 				res, err = sl.MapLUTContext(ctx, g)
 			}
-		} else if streaming {
-			res, err = lutmap.MapStream(g, lutmap.Options{Policy: cutPolicy, Workers: workers, Pool: s.pool})
 		} else {
-			res, err = lutmap.Map(g, lutmap.Options{Policy: cutPolicy, Workers: workers})
+			mg, ch := requestChoiceView(g, req.Choices)
+			opt := lutmap.Options{
+				Policy: cutPolicy, Workers: workers,
+				Rounds: req.Rounds, DelayFactor: req.DelayFactor, Choices: ch,
+			}
+			if streaming {
+				opt.Pool = s.pool
+				res, err = lutmap.MapStream(mg, opt)
+			} else {
+				res, err = lutmap.Map(mg, opt)
+			}
 		}
 		if err != nil {
 			return nil, err
@@ -736,6 +851,7 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 		resp.Depth = res.Depth
 		resp.CutsConsidered = res.CutsConsidered
 		resp.PeakCuts = res.PeakCuts
+		resp.RoundsRun, resp.RoundStats = lutRounds(res.RoundStats)
 		return resp, nil
 	case "asic":
 		var served *asicServed
@@ -748,16 +864,27 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 				sl := core.New(model, lib)
 				sl.Workers = workers
 				sl.Batch = s.batcherFor(model)
+				sl.Rounds = req.Rounds
+				sl.DelayFactor = req.DelayFactor
+				sl.Choices = req.Choices
 				if streaming {
 					sl.Pool = s.pool
 					res, err = sl.MapStreamContext(ctx, g)
 				} else {
 					res, err = sl.MapContext(ctx, g)
 				}
-			} else if streaming {
-				res, err = mapper.MapStream(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers, Pool: s.pool})
 			} else {
-				res, err = mapper.Map(g, mapper.Options{Library: lib, Policy: cutPolicy, Workers: workers})
+				mg, ch := requestChoiceView(g, req.Choices)
+				opt := mapper.Options{
+					Library: lib, Policy: cutPolicy, Workers: workers,
+					Rounds: req.Rounds, DelayFactor: req.DelayFactor, Choices: ch,
+				}
+				if streaming {
+					opt.Pool = s.pool
+					res, err = mapper.MapStream(mg, opt)
+				} else {
+					res, err = mapper.Map(mg, opt)
+				}
 			}
 			served = &asicServed{res: res}
 		}
@@ -779,6 +906,7 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 		resp.Cached = served.cached
 		resp.ECO = served.eco
 		resp.DirtyFraction = served.dirty
+		resp.RoundsRun, resp.RoundStats = asicRounds(res.RoundStats)
 		if req.Verify {
 			// Cached entries carry their verify bit; an entry cached without
 			// verification is checked here without re-mapping.

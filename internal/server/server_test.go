@@ -184,6 +184,82 @@ func TestMapLUTTarget(t *testing.T) {
 	}
 }
 
+// TestMapMultiRound drives the new /v1/map knobs end to end: a 4-round
+// choices request (JSON and query-param forms, both targets, slap and
+// default policies) answers per-round QoR, verifies against the submitted
+// circuit, and the run lands in the slap_map_rounds / area-gain metrics.
+func TestMapMultiRound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	for _, tc := range []struct {
+		name string
+		req  map[string]any
+	}{
+		{"asic-default", map[string]any{"policy": "default", "rounds": 4, "choices": true, "verify": true}},
+		{"asic-slap", map[string]any{"policy": "slap", "model": "toy", "rounds": 4, "delay_factor": 1.1, "choices": true, "verify": true}},
+		{"lut-slap", map[string]any{"policy": "slap", "model": "toy", "target": "lut", "rounds": 4, "choices": true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.req["circuit"] = rc16Text(t)
+			resp, data := postJSON(t, ts.URL+"/v1/map", tc.req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, data)
+			}
+			var got MapResponse
+			if err := json.Unmarshal(data, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.RoundsRun != 4 || len(got.RoundStats) != 4 {
+				t.Fatalf("missing per-round QoR: rounds_run=%d stats=%d", got.RoundsRun, len(got.RoundStats))
+			}
+			for i, st := range got.RoundStats {
+				if st.Round != i+1 || st.Mode == "" {
+					t.Fatalf("round stat %d malformed: %+v", i, st)
+				}
+			}
+			if tc.req["verify"] == true && !got.Verified {
+				t.Error("verify did not run against the submitted circuit")
+			}
+		})
+	}
+
+	// Query-param form of the same knobs.
+	resp, data := postRaw(t, ts.URL+"/v1/map?policy=default&rounds=3&delay_factor=1.2&choices=true", rc16Text(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query form: status %d: %s", resp.StatusCode, data)
+	}
+	var got MapResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.RoundsRun != 3 {
+		t.Fatalf("query form ran %d rounds, want 3", got.RoundsRun)
+	}
+
+	// The runs must show up in the new metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mdata, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(mdata)
+	for _, want := range []string{"slap_map_rounds_bucket", "slap_map_rounds_count", "slap_map_round_area_gain_count"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if strings.Contains(text, "slap_map_rounds_count 0\n") {
+		t.Error("slap_map_rounds histogram recorded nothing")
+	}
+	if strings.Contains(text, "slap_map_round_area_gain_count 0\n") {
+		t.Error("area-gain histogram recorded nothing despite multi-round runs")
+	}
+}
+
 func TestMapRequestLifecycleErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
