@@ -38,9 +38,19 @@ import (
 	"time"
 
 	"slap/internal/chaos"
+	"slap/internal/choice"
 	"slap/internal/infer"
 	"slap/internal/server"
 )
+
+// choiceCacheBytes converts the -choice-cache MiB flag to the Config byte
+// convention: 0 keeps the default budget, negative disables the cache.
+func choiceCacheBytes(mib int64) int64 {
+	if mib < 0 {
+		return -1
+	}
+	return mib << 20
+}
 
 // artifactFlags collects repeatable -model / -lib flags of the form
 // "name=path" or bare "path" (name derived from the file name).
@@ -79,6 +89,10 @@ func main() {
 		arenas    = flag.Int("arena-cache", 0, "cut arenas cached across requests for same-graph reuse (0 = default, negative disables)")
 		resCache  = flag.Int64("result-cache", 256, "mapping result cache budget in MiB: exact resubmissions are answered from the cache in O(1) (0 disables)")
 		eco       = flag.Bool("eco", true, "delta-remap edited designs against the nearest cached relative, re-running only the dirty cone (needs -result-cache)")
+
+		choiceWorkers = flag.Int("choice-workers", 0, "parallel choice-view proving workers for choices=1 requests (0 = all CPU cores; the built view is identical for any value)")
+		choiceBudget  = flag.Int64("choice-budget", 0, "per-pair SAT conflict budget for choice-view proofs (0 = default)")
+		choiceCache   = flag.Int64("choice-cache", 0, "choice view cache budget in MiB: repeat choices=1 submissions skip view construction (0 = default, negative disables)")
 
 		// Fleet membership: with -coordinator and -advertise set, the worker
 		// self-registers (and re-registers as a heartbeat) so a
@@ -124,6 +138,8 @@ func main() {
 		ArenaCache:        *arenas,
 		ResultCacheBytes:  *resCache << 20,
 		ECO:               *eco,
+		ChoiceOptions:     choice.Options{Workers: *choiceWorkers, ProofConflicts: *choiceBudget},
+		ChoiceCacheBytes:  choiceCacheBytes(*choiceCache),
 	}
 	fleet := fleetConfig{name: workerName, advertise: *advertise, coordinator: *coordinator, heartbeat: *heartbeat}
 

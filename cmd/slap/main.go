@@ -71,6 +71,9 @@ func main() {
 		rounds      = flag.Int("rounds", 1, "selection rounds: 1 = classic single pass, N > 1 adds area-recovery rounds under the round-1 delay (exact-area last)")
 		delayFactor = flag.Float64("delay-factor", 1.0, "required-time slack for recovery rounds, as a multiple of the round-1 delay (<= 1 pins the round-1 optimum)")
 		choices     = flag.Bool("choices", false, "map over a structural-choice view: matching sees the union of each node's rewrite variants")
+
+		choiceWorkers = flag.Int("choice-workers", 0, "parallel choice-view proving workers (0 = all CPU cores; the built view is identical for any value)")
+		choiceBudget  = flag.Int64("choice-budget", 0, "per-pair SAT conflict budget for choice-view proofs (0 = default)")
 	)
 	flag.Parse()
 
@@ -81,6 +84,7 @@ func main() {
 		streaming: *streaming, verify: *verify, list: *listNames,
 		cells: *showCells, verilog: *verilogOut, blif: *blifOut, report: *report,
 		rounds: *rounds, delayFactor: *delayFactor, choices: *choices,
+		choiceWorkers: *choiceWorkers, choiceBudget: *choiceBudget,
 		stdin: os.Stdin,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "slap:", err)
@@ -100,8 +104,16 @@ type runConfig struct {
 	rounds                                              int
 	delayFactor                                         float64
 	choices                                             bool
+	choiceWorkers                                       int
+	choiceBudget                                        int64
 	// stdin backs -aag "-"; nil falls back to os.Stdin.
 	stdin io.Reader
+}
+
+// choiceOptions folds the -choice-* flags into the view-construction
+// options (zero values keep the choice package defaults).
+func (cfg runConfig) choiceOptions() choice.Options {
+	return choice.Options{Workers: cfg.choiceWorkers, ProofConflicts: cfg.choiceBudget}
 }
 
 func run(cfg runConfig) error {
@@ -155,7 +167,7 @@ func run(cfg runConfig) error {
 	mg := g
 	var chSrc cuts.ChoiceSource
 	if cfg.choices {
-		v := choice.Build(g, choice.Options{})
+		v := choice.Build(g, cfg.choiceOptions())
 		mg, chSrc = v.G, v
 	}
 	opt := mapper.Options{
@@ -189,6 +201,7 @@ func run(cfg runConfig) error {
 		s.Rounds = cfg.rounds
 		s.DelayFactor = cfg.delayFactor
 		s.Choices = cfg.choices
+		s.ChoiceOpts = cfg.choiceOptions()
 		if cfg.batch >= 0 {
 			// All mapping workers funnel through one coalescer, so a node's
 			// cuts merge with other nodes' into shared GEMM passes. The

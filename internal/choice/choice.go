@@ -14,11 +14,24 @@
 // that is structurally distinct from its base equivalent keeps a smaller id
 // and (for balance-style variants) a no-greater level — which is what makes
 // it eligible as a choice member under the enumerator's id/level rule.
+//
+// Construction runs in three phases — graft, simulate, prove — the latter
+// two parallel across Options.Workers yet byte-identical to sequential for
+// any worker count: simulation patterns are pre-generated in a fixed order
+// and only the per-word evaluation fans out, and proving is parallel at
+// equivalence-class granularity with a class-local cone-scoped solver, so
+// every class's verdicts are a pure function of (graph, class, options).
 package choice
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"slap/internal/aig"
 	"slap/internal/cuts"
@@ -44,6 +57,10 @@ type Options struct {
 	// proof does not finish inside the budget are dropped (sound: the view
 	// just offers fewer alternatives). Default 4000.
 	ProofConflicts int64
+	// Workers bounds the goroutines used for simulation and class proving.
+	// Scheduling only: the built view is byte-identical for any value, so
+	// Workers is excluded from Sig. Default GOMAXPROCS.
+	Workers int
 }
 
 // exhaustiveMaxPIs bounds exhaustive signature simulation: up to 11 PIs the
@@ -67,9 +84,34 @@ func (o *Options) fill() {
 	if o.ProofConflicts <= 0 {
 		o.ProofConflicts = 4000
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Sig returns the content signature of the options: every knob that can
+// change the built view, with defaults folded in so an explicit default and
+// the zero value key identically. Workers is deliberately excluded — it is
+// a scheduling knob and the view is byte-identical across worker counts —
+// which is what lets one cached view serve requests with different
+// parallelism settings.
+func (o Options) Sig() string {
+	c := o
+	c.fill()
+	return fmt.Sprintf("variants=%d/seed=%d/mm=%d/sw=%d/pc=%d",
+		c.Variants, c.Seed, c.MaxMembers, c.SimWords, c.ProofConflicts)
+}
+
+// PhaseTimings records wall time spent in each build phase.
+type PhaseTimings struct {
+	Graft    time.Duration
+	Simulate time.Duration
+	Prove    time.Duration
 }
 
 // View is a built choice view. It implements cuts.ChoiceSource over G.
+// A View is immutable after Build returns and safe to share across
+// goroutines — this is what makes cached views checkoutable concurrently.
 type View struct {
 	// G is the combined graph to enumerate and map; its PIs and POs are the
 	// base graph's (same order, names and semantics).
@@ -80,8 +122,13 @@ type View struct {
 	members    [][]cuts.ChoiceMember
 	classes    int
 	memberRefs int
-	dropped    int
 	exhaustive bool
+
+	proved        int // node certificates discharged by the SAT prover
+	droppedDiffer int // candidates refuted by a SAT counterexample
+	droppedBudget int // candidates whose proof exhausted the conflict budget
+
+	phases PhaseTimings
 }
 
 // MembersOf returns node n's equivalence-class members, each satisfying
@@ -99,22 +146,81 @@ func (v *View) Classes() int { return v.classes }
 // MemberRefs returns the total number of (node, member) enrichment edges.
 func (v *View) MemberRefs() int { return v.memberRefs }
 
-// DroppedMembers returns the number of candidate members discarded because
-// their SAT proof failed or exceeded the conflict budget.
-func (v *View) DroppedMembers() int { return v.dropped }
+// DroppedMembers returns the number of candidate class nodes discarded
+// because their equivalence certificate against the class representative
+// failed or exceeded the conflict budget.
+func (v *View) DroppedMembers() int { return v.droppedDiffer + v.droppedBudget }
+
+// ProvedMembers returns the number of node certificates the SAT prover
+// discharged. Zero when simulation was exhaustive (signatures are proofs).
+func (v *View) ProvedMembers() int { return v.proved }
+
+// DroppedDiffer returns the candidates refuted by a SAT counterexample —
+// signature collisions that were genuinely different functions.
+func (v *View) DroppedDiffer() int { return v.droppedDiffer }
+
+// DroppedBudget returns the candidates dropped because their proof did not
+// finish inside the per-pair conflict budget.
+func (v *View) DroppedBudget() int { return v.droppedBudget }
 
 // Exhaustive reports whether class membership was proven by exhaustive
 // simulation (true iff the base has <= 11 PIs).
 func (v *View) Exhaustive() bool { return v.exhaustive }
 
+// Phases returns the wall time spent in each build phase.
+func (v *View) Phases() PhaseTimings { return v.phases }
+
+// SizeBytes estimates the resident size of the view (combined graph plus
+// member lists) for cache byte accounting. The base graph is caller-owned
+// and not counted.
+func (v *View) SizeBytes() int64 {
+	const nodeBytes = 32 // id-indexed node record + level/fanout annotations
+	sz := int64(v.G.NumNodes()) * nodeBytes
+	sz += int64(len(v.members)) * 24 // slice headers
+	sz += int64(v.memberRefs) * 8    // cuts.ChoiceMember entries
+	return sz
+}
+
 // Build constructs a choice view of base: rewrite variants, graft them and
 // the base into a combined strashed graph, and class the combined nodes by
 // simulation signature. Construction is deterministic for a given (base,
-// Options) pair, which keeps multi-round mapping byte-identical across
-// workers and cache keys stable.
+// Options) pair — for any Workers count — which keeps multi-round mapping
+// byte-identical across workers and cache keys stable.
 func Build(base *aig.AIG, o Options) *View {
+	v, _ := BuildContext(context.Background(), base, o)
+	return v
+}
+
+// BuildContext is Build with cancellation: simulation stops between pattern
+// words and proving stops between classes when ctx is done, so a dropped
+// /v1/map client or an expired deadline does not keep burning SAT budget.
+// The only possible error is ctx.Err().
+func BuildContext(ctx context.Context, base *aig.AIG, o Options) (*View, error) {
 	o.fill()
 
+	t := time.Now()
+	v := combine(base, o)
+	v.phases.Graft = time.Since(t)
+
+	t = time.Now()
+	prop, err := v.propose(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	v.phases.Simulate = time.Since(t)
+
+	t = time.Now()
+	if err := v.prove(ctx, prop, o); err != nil {
+		return nil, err
+	}
+	v.phases.Prove = time.Since(t)
+	return v, nil
+}
+
+// combine is the graft phase: rewrite variants of base and strash them plus
+// the base itself into one combined graph sharing the base's PI/PO
+// interface.
+func combine(base *aig.AIG, o Options) *View {
 	swept := opt.Sweep(base)
 	variants := make([]*aig.AIG, 0, 1+o.Variants)
 	variants = append(variants, opt.Sweep(opt.Balance(swept)))
@@ -141,9 +247,7 @@ func Build(base *aig.AIG, o Options) *View {
 		comb.AddPO(po.Name, mapLit(po.Lit))
 	}
 
-	view := &View{G: comb, Base: base, members: make([][]cuts.ChoiceMember, comb.NumNodes())}
-	view.buildClasses(o)
-	return view
+	return &View{G: comb, Base: base, members: make([][]cuts.ChoiceMember, comb.NumNodes())}
 }
 
 // graft copies the PO-reachable logic of v into comb, mapping v's PIs to
@@ -192,14 +296,23 @@ func graft(comb *aig.AIG, piLits []aig.Lit, v *aig.AIG) []aig.Lit {
 	return old2new
 }
 
-// buildClasses computes per-node simulation signatures of the combined
-// graph, groups equal canonical signatures (polarity folded out) into
-// classes, and materialises each AND node's eligible member list.
-func (v *View) buildClasses(o Options) {
+// proposal is the simulate phase's output: candidate equivalence classes in
+// their canonical proving order plus each node's polarity relative to its
+// class's canonical phase.
+type proposal struct {
+	classes [][]uint32
+	pol     []bool
+}
+
+// propose is the simulate phase: compute per-node signatures of the combined
+// graph under pre-generated patterns (parallel across words), canonicalise
+// polarity, and group equal signatures into candidate classes sorted by
+// their first node id.
+func (v *View) propose(ctx context.Context, o Options) (*proposal, error) {
 	g := v.G
 	numNodes := g.NumNodes()
 	if numNodes <= 1 {
-		return
+		return &proposal{}, nil
 	}
 
 	var words int
@@ -216,10 +329,13 @@ func (v *View) buildClasses(o Options) {
 	}
 	v.exhaustive = exhaustive
 
-	sigs := make([]uint64, numNodes*words)
+	// Pre-generate every pattern word in the fixed sequential order the rng
+	// defines; only the (pure) per-word graph evaluation fans out below, so
+	// the signatures are identical for any worker count.
+	patterns := make([][]uint64, words)
 	rng := rand.New(rand.NewSource(o.Seed ^ 0x5deece66d))
-	piVals := make([]uint64, g.NumPIs())
 	for w := 0; w < words; w++ {
+		piVals := make([]uint64, g.NumPIs())
 		for i := range piVals {
 			if exhaustive {
 				piVals[i] = exhaustiveWord(i, w)
@@ -227,9 +343,51 @@ func (v *View) buildClasses(o Options) {
 				piVals[i] = rng.Uint64()
 			}
 		}
-		vals := g.SimulateNodes(piVals)
-		for n := 0; n < numNodes; n++ {
-			sigs[n*words+w] = vals[n]
+		patterns[w] = piVals
+	}
+
+	sigs := make([]uint64, numNodes*words)
+	simWorkers := o.Workers
+	if simWorkers > words {
+		simWorkers = words
+	}
+	if simWorkers <= 1 {
+		for w := 0; w < words; w++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			vals := g.SimulateNodes(patterns[w])
+			for n := 0; n < numNodes; n++ {
+				sigs[n*words+w] = vals[n]
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for i := 0; i < simWorkers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					w := int(next.Add(1)) - 1
+					if w >= words {
+						return
+					}
+					if ctx.Err() != nil {
+						stop.Store(true)
+						return
+					}
+					vals := g.SimulateNodes(patterns[w])
+					for n := 0; n < numNodes; n++ {
+						sigs[n*words+w] = vals[n]
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
 
@@ -321,58 +479,265 @@ func (v *View) buildClasses(o Options) {
 		}
 	}
 	// Classes from distinct buckets are disjoint, but the map iteration
-	// above is unordered and budget-limited SAT proofs below depend on the
-	// solver's accumulated learned clauses — prove in a fixed order so the
-	// view (and therefore mapping) stays deterministic.
+	// above is unordered — fix a canonical order so class indices (and the
+	// applied results) are deterministic.
 	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
-
-	// When simulation is exhaustive the signatures are truth tables and
-	// class membership is already a proof. Otherwise a matching signature is
-	// only a proposal — deep circuits have node pairs that agree on every
-	// random pattern yet differ on a rare one — so every candidate member is
-	// discharged by an incremental SAT proof before the mapper may use it.
-	var pr *prover
-	if !exhaustive {
-		pr = newProver(g)
-	}
-	for _, class := range classes {
-		v.addClass(class, pol, pr, o)
-	}
+	return &proposal{classes: classes, pol: pol}, nil
 }
 
-// addClass records the eligible member list of every AND node in one
-// equivalence class: members must have strictly smaller id and strictly
-// smaller level than the node they enrich (see cuts.ChoiceSource), and —
-// unless simulation was exhaustive — each (node, member) pair must be
-// SAT-proven equivalent. Unproven candidates count into dropped.
-func (v *View) addClass(class []uint32, pol []bool, pr *prover, o Options) {
+// classResult holds one class's proof state plus its outcome tallies,
+// computed by whichever worker claimed the class. certified lists the class
+// nodes whose equivalence certificate succeeded (ascending id) — classes in
+// later level groups install those equivalences as solver facts.
+type classResult struct {
+	proven    []bool
+	certified []uint32
+
+	proved, droppedDiffer, droppedBudget int
+}
+
+// prove is the prove phase: discharge every candidate class and materialise
+// the eligible member lists. Classes are the parallel work units — each is
+// proven on a solver scoped to its transitive-fanin cone (see coneProver),
+// so no solver state is shared between classes or workers — scheduled as a
+// level wavefront: classes are grouped by the level of their deepest node
+// and the groups run in ascending order with a barrier between them, each
+// class installing the certified equivalences of all earlier groups
+// (restricted to its cone) as hard clauses before solving. The wavefront
+// order makes certification inductive, exactly like sequential fraiging: a
+// class's fact sources — classes with at least two nodes inside its cone —
+// consist entirely of strictly lower-level nodes (a cone's only
+// maximum-level nodes are the class's own), so every fact a proof could use
+// exists before the proof is attempted and a deep pair propagates to
+// equality instead of being re-derived by search. Each group's fact base is
+// frozen at its barrier (workers replace a class's certified slice, never
+// mutate it), so every verdict is a pure function of (graph, proposal,
+// options) — never of scheduling — and the assembled view is
+// byte-identical for any Workers count. When simulation was exhaustive the
+// signatures are truth tables and membership is already proven; only the
+// eligibility filtering runs, in a single group.
+func (v *View) prove(ctx context.Context, prop *proposal, o Options) error {
+	classes := prop.classes
+	if len(classes) == 0 {
+		return ctx.Err()
+	}
 	g := v.G
-	v.classes++
+	g.Level(0) // force the lazy level annotation once, before workers share g
+
+	results := make([]classResult, len(classes))
+
+	// Group class indices by max node level, groups in ascending level
+	// order. Exhaustive views need no facts, hence a single group.
+	var groups [][]int32
+	if v.exhaustive {
+		all := make([]int32, len(classes))
+		for i := range all {
+			all[i] = int32(i)
+		}
+		groups = [][]int32{all}
+	} else {
+		byLevel := make(map[int32][]int32)
+		var levels []int32
+		for i, class := range classes {
+			maxLvl := int32(0)
+			for _, n := range class {
+				if l := g.Level(n); l > maxLvl {
+					maxLvl = l
+				}
+			}
+			if _, ok := byLevel[maxLvl]; !ok {
+				levels = append(levels, maxLvl)
+			}
+			byLevel[maxLvl] = append(byLevel[maxLvl], int32(i))
+		}
+		sort.Slice(levels, func(a, b int) bool { return levels[a] < levels[b] })
+		for _, l := range levels {
+			groups = append(groups, byLevel[l])
+		}
+	}
+
+	snap := make([][]uint32, len(classes))
+	for _, group := range groups {
+		err := v.forEachClass(ctx, len(group), o, func(k int, pr *coneProver) {
+			i := group[k]
+			results[i] = proveClass(g, classes[i], prop.pol, pr, snap, o)
+		})
+		if err != nil {
+			return err
+		}
+		for _, i := range group {
+			snap[i] = results[i].certified
+		}
+	}
+
+	for i := range results {
+		r := &results[i]
+		v.classes++
+		nodes, members := buildMembers(g, classes[i], prop.pol, r.proven, o)
+		for j, n := range nodes {
+			v.members[n] = members[j]
+			v.memberRefs += len(members[j])
+		}
+		v.proved += r.proved
+		v.droppedDiffer += r.droppedDiffer
+		v.droppedBudget += r.droppedBudget
+	}
+	return nil
+}
+
+// forEachClass runs fn over n work items on a Workers-bounded pool, each
+// worker holding one reusable coneProver (nil when simulation was
+// exhaustive). Work distribution is an atomic counter: any assignment of
+// items to workers yields the same results because fn's output for an item
+// never depends on the other items' scheduling.
+func (v *View) forEachClass(ctx context.Context, n int, o Options, fn func(i int, pr *coneProver)) error {
+	workers := o.Workers
+	if workers > n {
+		workers = n
+	}
+	newProver := func() *coneProver {
+		if v.exhaustive {
+			return nil
+		}
+		return newConeProver(v.G)
+	}
+	if workers <= 1 {
+		pr := newProver()
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i, pr)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pr := newProver()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+				fn(i, pr)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// proveClass discharges one equivalence class: unless simulation was
+// exhaustive (pr == nil), every node must be SAT-certified on the class's
+// cone-scoped solver. Before solving, the certified equivalences of every
+// already-proven class with at least two nodes in this class's cone (snap,
+// frozen at the level-group barrier) are installed — chained pairwise in
+// ascending class then node order — as hard solver facts: true
+// equivalences exclude no model, so both SAT and UNSAT answers stay sound,
+// and a deep miter whose fanin classes are certified propagates to
+// equality instead of re-deriving their equivalence by search.
+// Certification itself is a chain: each node proves equivalence to its
+// nearest previously-certified classmate (the highest certified id below
+// it). Strash assigns nearby ids to nearby structure, so the chain miter
+// between two adjacent variants of the same logic is small and the proof
+// cheap, while certified pairs follow by transitivity — n == p and m == p
+// imply n == m — so the full member lists need |class|-1 solver calls
+// instead of one per (node, member) pair. A certificate refuted by a
+// counterexample or out of budget is dropped for good (sound: the view
+// just offers fewer alternatives).
+func proveClass(g *aig.AIG, class []uint32, pol []bool, pr *coneProver, snap [][]uint32, o Options) classResult {
+	var r classResult
+	r.proven = make([]bool, len(class))
+	r.proven[0] = true
+	if pr == nil {
+		for i := range r.proven {
+			r.proven[i] = true
+		}
+		return r
+	}
+	pr.load(class)
+	for _, certified := range snap {
+		prev := int32(-1)
+		for _, c := range certified {
+			if pr.node2var[c] < 0 {
+				continue
+			}
+			if prev >= 0 {
+				pr.addFact(uint32(prev), c, pol[prev] != pol[c])
+			}
+			prev = int32(c)
+		}
+	}
+	anchor := class[0]
+	for i := 1; i < len(class); i++ {
+		n := class[i]
+		ok, exhausted := pr.equivalent(n, anchor, pol[n] != pol[anchor], o.ProofConflicts)
+		r.proven[i] = ok
+		switch {
+		case ok:
+			r.proved++
+			anchor = n
+		case exhausted:
+			r.droppedBudget++
+		default:
+			r.droppedDiffer++
+		}
+	}
+	r.certified = certifiedNodes(class, r.proven)
+	return r
+}
+
+// certifiedNodes lists the class nodes whose certificate succeeded,
+// ascending; classes with fewer than two carry no usable equivalence.
+func certifiedNodes(class []uint32, proven []bool) []uint32 {
+	var cs []uint32
 	for i, n := range class {
-		if !g.IsAnd(n) {
+		if proven[i] {
+			cs = append(cs, n)
+		}
+	}
+	if len(cs) < 2 {
+		return nil
+	}
+	return cs
+}
+
+// buildMembers materialises the eligible member list of every certified AND
+// node in one class: members must themselves be certified and have strictly
+// smaller id and strictly smaller level than the node they enrich (see
+// cuts.ChoiceSource). An uncertified node neither offers nor receives
+// members, which is sound — the view just offers fewer alternatives.
+func buildMembers(g *aig.AIG, class []uint32, pol []bool, proven []bool, o Options) (nodes []uint32, members [][]cuts.ChoiceMember) {
+	for i, n := range class {
+		if !proven[i] || !g.IsAnd(n) {
 			continue
 		}
 		ln := g.Level(n)
 		var ms []cuts.ChoiceMember
-		for _, m := range class[:i] {
-			if g.Level(m) >= ln {
+		for j, m := range class[:i] {
+			if !proven[j] || g.Level(m) >= ln {
 				continue
 			}
-			compl := pol[m] != pol[n]
-			if pr != nil && !pr.equivalent(n, m, compl, o.ProofConflicts) {
-				v.dropped++
-				continue
-			}
-			ms = append(ms, cuts.ChoiceMember{Node: m, Compl: compl})
+			ms = append(ms, cuts.ChoiceMember{Node: m, Compl: pol[m] != pol[n]})
 			if len(ms) >= o.MaxMembers {
 				break
 			}
 		}
 		if len(ms) > 0 {
-			v.members[n] = ms
-			v.memberRefs += len(ms)
+			nodes = append(nodes, n)
+			members = append(members, ms)
 		}
 	}
+	return nodes, members
 }
 
 // exhaustiveWord returns the packed value word of PI i for exhaustive

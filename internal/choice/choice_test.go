@@ -196,15 +196,16 @@ func TestProverAgreesWithExhaustiveSim(t *testing.T) {
 		if !v.Exhaustive() {
 			t.Fatalf("trial %d: expected exhaustive simulation on %d PIs", trial, g.NumPIs())
 		}
-		pr := newProver(v.G)
+		pr := newConeProver(v.G)
 		checked := 0
 		for n := uint32(1); n < uint32(v.G.NumNodes()) && checked < 40; n++ {
 			for _, m := range v.MembersOf(n) {
-				if !pr.equivalent(n, m.Node, m.Compl, 100000) {
+				pr.load([]uint32{n, m.Node})
+				if ok, _ := pr.equivalent(n, m.Node, m.Compl, 100000); !ok {
 					t.Fatalf("trial %d: prover rejects exhaustively-proven pair (%d, %d, compl=%v)",
 						trial, n, m.Node, m.Compl)
 				}
-				if pr.equivalent(n, m.Node, !m.Compl, 100000) {
+				if ok, _ := pr.equivalent(n, m.Node, !m.Compl, 100000); ok {
 					t.Fatalf("trial %d: prover accepts wrong-polarity pair (%d, %d)", trial, n, m.Node)
 				}
 				checked++

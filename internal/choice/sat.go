@@ -11,13 +11,20 @@
 //
 // The solver is deliberately small: two-watched-literal propagation,
 // first-UIP clause learning, phase saving, an activity-bumped decision
-// heuristic and Luby-style restarts. Learned clauses persist across the
-// hundreds of per-pair calls on one graph, which is what makes class
-// proving cheap — members come from rebalanced variants of the same logic,
-// so the strashed miter cones share almost everything.
+// heuristic and Luby-style restarts. Each equivalence class gets its own
+// solver over the Tseitin encoding of the class's union transitive-fanin
+// cone (see coneProver): learned clauses persist across the per-pair calls
+// within one class, which is what makes class proving cheap — members come
+// from rebalanced variants of the same logic, so the cones share almost
+// everything — while cone scoping keeps the instance (watch lists, branch
+// scan, clause DB) orders of magnitude smaller than the combined graph.
 package choice
 
-import "slap/internal/aig"
+import (
+	"sort"
+
+	"slap/internal/aig"
+)
 
 type satResult int8
 
@@ -54,6 +61,13 @@ type satSolver struct {
 	nVars   int
 	clauses []*sclause
 	watches [][]*sclause // literal -> clauses watching it (lits[0] or lits[1])
+
+	// Slab arenas for clause records and their literal arrays: a cone-scoped
+	// build creates one solver per equivalence class, so per-clause heap
+	// allocations dominate without batching. Chunked slabs keep previously
+	// handed-out pointers valid when a new chunk is carved.
+	clauseSlab []sclause
+	litSlab    []slit
 
 	assign   []int8 // per var: 0 undef, +1 true, -1 false
 	level    []int32
@@ -112,10 +126,31 @@ func (s *satSolver) addClause(lits ...slit) bool {
 	case 1:
 		return s.enqueue(out[0], nil) && s.propagate() == nil
 	}
-	c := &sclause{lits: append([]slit(nil), out...)}
+	c := s.allocClause(out, false)
 	s.attach(c)
 	s.clauses = append(s.clauses, c)
 	return true
+}
+
+// allocClause carves a clause from the slab arenas, copying lits.
+func (s *satSolver) allocClause(lits []slit, learned bool) *sclause {
+	if len(s.clauseSlab) == 0 {
+		s.clauseSlab = make([]sclause, 512)
+	}
+	c := &s.clauseSlab[0]
+	s.clauseSlab = s.clauseSlab[1:]
+	if cap(s.litSlab)-len(s.litSlab) < len(lits) {
+		n := 4096
+		if len(lits) > n {
+			n = len(lits)
+		}
+		s.litSlab = make([]slit, 0, n)
+	}
+	start := len(s.litSlab)
+	s.litSlab = append(s.litSlab, lits...)
+	c.lits = s.litSlab[start:len(s.litSlab):len(s.litSlab)]
+	c.learned = learned
+	return c
 }
 
 func (s *satSolver) attach(c *sclause) {
@@ -312,7 +347,7 @@ func (s *satSolver) solve(assumps []slit, budget int64) satResult {
 					return satFalse
 				}
 			} else {
-				c := &sclause{lits: learnt, learned: true}
+				c := s.allocClause(learnt, true)
 				s.attach(c)
 				s.clauses = append(s.clauses, c)
 				if !s.enqueue(learnt[0], c) {
@@ -356,42 +391,124 @@ func (s *satSolver) solve(assumps []slit, budget int64) satResult {
 	}
 }
 
-// prover wraps a satSolver over the Tseitin encoding of a combined graph.
-type prover struct {
-	s  *satSolver
-	ok bool // encoding consistent (always true for a well-formed AIG)
+// coneProver proves pairs of one equivalence class at a time over a Tseitin
+// encoding scoped to the class's union transitive-fanin cone. One instance
+// is private to a build worker and reused across the classes that worker
+// claims: the node→var map and DFS stack are retained scratch (reset via the
+// previous cone's node list, not a full sweep), while each class gets a
+// fresh satSolver sized to its cone. Scoping the solver to the class — not
+// the worker — is what keeps parallel builds byte-identical to sequential:
+// a budget-limited solve outcome depends on the solver's accumulated learned
+// clauses, so every class's verdicts must be a pure function of (graph,
+// class, options), independent of which worker proves it after which other
+// classes. Within a class, learned clauses and activity still carry over
+// across the pair calls via assumption-based solving.
+type coneProver struct {
+	g        *aig.AIG
+	node2var []int32  // node id -> dense solver var, -1 outside current cone
+	cone     []uint32 // current class's cone nodes, ascending id
+	stack    []uint32 // DFS scratch
+	s        *satSolver
+	ok       bool // encoding consistent (always true for a well-formed AIG)
 }
 
-func newProver(g *aig.AIG) *prover {
-	s := newSatSolver(g.NumNodes())
-	ok := s.addClause(mkLit(0, true)) // node 0 is constant false
-	nodeLit := func(l aig.Lit) slit { return mkLit(l.Node(), l.IsCompl()) }
-	for n := uint32(1); n < uint32(g.NumNodes()); n++ {
-		if !g.IsAnd(n) {
+func newConeProver(g *aig.AIG) *coneProver {
+	n2v := make([]int32, g.NumNodes())
+	for i := range n2v {
+		n2v[i] = -1
+	}
+	return &coneProver{g: g, node2var: n2v}
+}
+
+// load prepares the prover for one class: collect the union transitive-fanin
+// cone of all class nodes, assign dense variables in ascending node-id order
+// (so the clause database is deterministic regardless of DFS order), and
+// encode the cone's AND structure. Var 0 is the constant-false node 0; PIs
+// inside the cone become free variables.
+func (p *coneProver) load(class []uint32) {
+	for _, n := range p.cone {
+		p.node2var[n] = -1
+	}
+	p.cone = p.cone[:0]
+	stack := p.stack[:0]
+	visit := func(n uint32) {
+		if n != 0 && p.node2var[n] < 0 {
+			p.node2var[n] = 0 // mark visited; real var assigned below
+			p.cone = append(p.cone, n)
+			stack = append(stack, n)
+		}
+	}
+	for _, n := range class {
+		visit(n)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.g.IsAnd(n) {
+			f0, f1 := p.g.Fanins(n)
+			visit(f0.Node())
+			visit(f1.Node())
+		}
+	}
+	p.stack = stack
+	sort.Slice(p.cone, func(i, j int) bool { return p.cone[i] < p.cone[j] })
+	for i, n := range p.cone {
+		p.node2var[n] = int32(i + 1)
+	}
+
+	s := newSatSolver(len(p.cone) + 1)
+	ok := s.addClause(mkLit(0, true)) // var 0 is constant false
+	lit := func(l aig.Lit) slit {
+		if l.Node() == 0 {
+			return mkLit(0, l.IsCompl())
+		}
+		return mkLit(uint32(p.node2var[l.Node()]), l.IsCompl())
+	}
+	for _, n := range p.cone {
+		if !p.g.IsAnd(n) {
 			continue
 		}
-		f0, f1 := g.Fanins(n)
-		o, a, b := mkLit(n, false), nodeLit(f0), nodeLit(f1)
+		f0, f1 := p.g.Fanins(n)
+		o, a, b := mkLit(uint32(p.node2var[n]), false), lit(f0), lit(f1)
 		ok = ok && s.addClause(o.not(), a)
 		ok = ok && s.addClause(o.not(), b)
 		ok = ok && s.addClause(o, a.not(), b.not())
 	}
-	return &prover{s: s, ok: ok}
+	p.s, p.ok = s, ok
+}
+
+// addFact installs a proven equivalence n == m (complemented when compl) as
+// hard constraint clauses. Both nodes must be inside the loaded cone. Facts
+// are true statements about the cone's functions — every model of the
+// Tseitin encoding is a PI assignment extended by simulation, under which a
+// certified equivalence holds — so they exclude no genuine counterexample
+// and only speed up refutations: a deep pair whose fanin classes are
+// already certified propagates to equality instead of being re-derived by
+// search. This is what replaces the old whole-graph solver's accumulated
+// learned clauses, without its cross-class scheduling dependence.
+func (p *coneProver) addFact(n, m uint32, compl bool) {
+	a := mkLit(uint32(p.node2var[n]), false)
+	b := mkLit(uint32(p.node2var[m]), compl)
+	p.ok = p.ok && p.s.addClause(a.not(), b)
+	p.ok = p.ok && p.s.addClause(a, b.not())
 }
 
 // equivalent proves n == m (complemented when compl) by refuting both
-// difference phases. Only satFalse on both calls counts as proven.
-func (p *prover) equivalent(n, m uint32, compl bool, budget int64) bool {
+// difference phases. Only satFalse on both calls counts as proven; exhausted
+// reports that the conflict budget ran out before an answer (as opposed to a
+// genuine counterexample). Both nodes must be inside the loaded cone.
+func (p *coneProver) equivalent(n, m uint32, compl bool, budget int64) (proved, exhausted bool) {
 	if !p.ok {
-		return false
+		return false, false
 	}
-	nPos, nNeg := mkLit(n, false), mkLit(n, true)
-	mPos, mNeg := mkLit(m, compl), mkLit(m, !compl)
+	vn, vm := uint32(p.node2var[n]), uint32(p.node2var[m])
+	nPos, nNeg := mkLit(vn, false), mkLit(vn, true)
+	mPos, mNeg := mkLit(vm, compl), mkLit(vm, !compl)
 	if r := p.s.solve([]slit{nPos, mNeg}, budget); r != satFalse {
-		return false
+		return false, r == satUnknown
 	}
 	if r := p.s.solve([]slit{nNeg, mPos}, budget); r != satFalse {
-		return false
+		return false, r == satUnknown
 	}
-	return true
+	return true, false
 }

@@ -65,9 +65,16 @@ func (s *SLAP) ConfigSig() string {
 	if df < 1 {
 		df = 1
 	}
-	return fmt.Sprintf("slap/model=%p/lib=%s@%p/good=%d/avg=%d/exp=%v/max=%d/mc=%d/rounds=%d/df=%g/choices=%v",
+	ch := "off"
+	if s.Choices {
+		// The choice-options content signature (Workers excluded, defaults
+		// folded in) — two configs that build different views must never
+		// share a cached mapping result.
+		ch = s.ChoiceOpts.Sig()
+	}
+	return fmt.Sprintf("slap/model=%p/lib=%s@%p/good=%d/avg=%d/exp=%v/max=%d/mc=%d/rounds=%d/df=%g/choices=%s",
 		s.Model, s.Library.Name, s.Library, s.GoodMax, s.AvgMax,
-		s.UseExpectedClass, s.MaxCutsPerNode, mc, rounds, df, s.Choices)
+		s.UseExpectedClass, s.MaxCutsPerNode, mc, rounds, df, ch)
 }
 
 // SlapSnapshot is a reusable record of one full SLAP mapping run: the

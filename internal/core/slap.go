@@ -96,6 +96,16 @@ type SLAP struct {
 	// equivalence class's cuts (internal/choice). The view shares the base
 	// graph's PIs and POs, so results verify against the original graph.
 	Choices bool
+	// ChoiceOpts tunes choice-view construction when Choices is set (zero
+	// value = the choice package defaults). Its Workers field is a pure
+	// scheduling knob; every other field changes the built view and is part
+	// of ConfigSig.
+	ChoiceOpts choice.Options
+	// Views, when non-nil, caches built choice views content-addressed by
+	// (graph, ChoiceOpts) with singleflight dedup, so repeat Choices
+	// mappings of the same design skip view construction entirely. Nil
+	// builds a fresh view per call.
+	Views *choice.Cache
 }
 
 // inferScratch is one worker's reusable embedding storage: a single-sample
@@ -541,15 +551,27 @@ func trivialOf(n uint32, cs []cuts.Cut) cuts.Cut {
 }
 
 // choiceGraph returns the graph to map and the choice source to enumerate
-// with: the subject graph itself when Choices is off, or a freshly built
-// choice view over it (which shares g's PI/PO interface, so downstream
-// verification against g is unchanged).
-func (s *SLAP) choiceGraph(g *aig.AIG) (*aig.AIG, cuts.ChoiceSource) {
+// with: the subject graph itself when Choices is off, or a choice view
+// over it (which shares g's PI/PO interface, so downstream verification
+// against g is unchanged) — checked out of the Views cache when one is
+// configured, built fresh otherwise. Construction honours ctx: a dropped
+// client or expired deadline aborts the build mid-phase instead of
+// burning the full SAT budget.
+func (s *SLAP) choiceGraph(ctx context.Context, g *aig.AIG) (*aig.AIG, cuts.ChoiceSource, error) {
 	if !s.Choices {
-		return g, nil
+		return g, nil, nil
 	}
-	v := choice.Build(g, choice.Options{})
-	return v.G, v
+	var v *choice.View
+	var err error
+	if s.Views != nil {
+		v, err = s.Views.Checkout(ctx, g, s.ChoiceOpts)
+	} else {
+		v, err = choice.BuildContext(ctx, g, s.ChoiceOpts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.G, v, nil
 }
 
 // Map runs the full SLAP flow on g: filter cuts with the model, then map
@@ -563,7 +585,10 @@ func (s *SLAP) Map(g *aig.AIG) (*mapper.Result, error) {
 // MapContext is Map with cooperative cancellation between flow stages and
 // inside the classification workers (see FilterCutsContext).
 func (s *SLAP) MapContext(ctx context.Context, g *aig.AIG) (*mapper.Result, error) {
-	mg, ch := s.choiceGraph(g)
+	mg, ch, err := s.choiceGraph(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 	filtered, extras, err := s.filterCutsChoices(ctx, mg, ch)
 	if err != nil {
 		return nil, err
@@ -595,7 +620,10 @@ func (s *SLAP) MapLUT(g *aig.AIG) (*lutmap.Result, error) {
 
 // MapLUTContext is MapLUT with cooperative cancellation (see MapContext).
 func (s *SLAP) MapLUTContext(ctx context.Context, g *aig.AIG) (*lutmap.Result, error) {
-	mg, ch := s.choiceGraph(g)
+	mg, ch, err := s.choiceGraph(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 	filtered, extras, err := s.filterCutsChoices(ctx, mg, ch)
 	if err != nil {
 		return nil, err

@@ -34,7 +34,10 @@ func (s *SLAP) MapStreamContext(ctx context.Context, g *aig.AIG) (*mapper.Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	mg, ch := s.choiceGraph(g)
+	mg, ch, err := s.choiceGraph(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 	st, err := mapper.NewStream(mg, mapper.Options{Library: s.Library, Rounds: s.Rounds, DelayFactor: s.DelayFactor})
 	if err != nil {
 		return nil, err
@@ -71,7 +74,10 @@ func (s *SLAP) MapLUTStreamContext(ctx context.Context, g *aig.AIG) (*lutmap.Res
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	mg, ch := s.choiceGraph(g)
+	mg, ch, err := s.choiceGraph(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 	st := lutmap.NewStream(mg, lutmap.Options{Rounds: s.Rounds, DelayFactor: s.DelayFactor})
 	res, err := s.streamFiltered(ctx, mg, ch, func(n uint32, kept, extras []cuts.Cut) {
 		st.ConsumeNode(n, kept)

@@ -65,11 +65,13 @@ type worker struct {
 	lastProbe   time.Time
 	registered  time.Time
 	// Warmth, from the worker's /healthz: how many designs have a parked
-	// cut arena and how many mapped results (and ECO snapshots) are
-	// cached. Routing-quality observability, exported per worker.
+	// cut arena, how many mapped results (and ECO snapshots) are cached,
+	// and how many built choice views are resident. Routing-quality
+	// observability, exported per worker.
 	warmGraphs     int
 	cacheEntries   int
 	cacheSnapshots int
+	warmViews      int
 }
 
 // WorkerStatus is the JSON view of one worker in coordinator health
@@ -87,6 +89,7 @@ type WorkerStatus struct {
 	WarmGraphs     int     `json:"warm_graphs"`
 	CacheEntries   int     `json:"cache_entries"`
 	CacheSnapshots int     `json:"cache_snapshots,omitempty"`
+	WarmViews      int     `json:"warm_views"`
 }
 
 // workerHealthz is the slice of a worker's /healthz body the coordinator
@@ -96,6 +99,7 @@ type workerHealthz struct {
 	ArenaGraphs       int    `json:"arena_graphs"`
 	MapcacheEntries   int    `json:"mapcache_entries"`
 	MapcacheSnapshots int    `json:"mapcache_snapshots"`
+	ChoiceViews       int    `json:"choice_views"`
 }
 
 // probeLoop polls every worker's /healthz on a fixed cadence until the
@@ -190,6 +194,7 @@ func (c *Coordinator) recordProbe(w *worker, h *workerHealthz, err error) {
 	w.warmGraphs = h.ArenaGraphs
 	w.cacheEntries = h.MapcacheEntries
 	w.cacheSnapshots = h.MapcacheSnapshots
+	w.warmViews = h.ChoiceViews
 }
 
 // reportProxyFailure counts a failed proxied request as a health strike:
@@ -248,6 +253,7 @@ func (c *Coordinator) workerStatuses() []WorkerStatus {
 			WarmGraphs:     w.warmGraphs,
 			CacheEntries:   w.cacheEntries,
 			CacheSnapshots: w.cacheSnapshots,
+			WarmViews:      w.warmViews,
 		}
 		if !w.lastProbe.IsZero() {
 			ws.LastProbeAgoS = time.Since(w.lastProbe).Seconds()

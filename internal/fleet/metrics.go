@@ -229,6 +229,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		for _, s := range sts {
 			fmt.Fprintf(w, "slap_fleet_worker_cache_entries{worker=%q} %d\n", s.Name, s.CacheEntries)
 		}
+		fmt.Fprintln(w, "# HELP slap_fleet_worker_warm_views Choice views resident in each worker's view cache (last probe).")
+		fmt.Fprintln(w, "# TYPE slap_fleet_worker_warm_views gauge")
+		for _, s := range sts {
+			fmt.Fprintf(w, "slap_fleet_worker_warm_views{worker=%q} %d\n", s.Name, s.WarmViews)
+		}
 		fmt.Fprintln(w, "# HELP slap_fleet_breaker_state Per-worker circuit breaker (0 closed, 1 half-open, 2 open).")
 		fmt.Fprintln(w, "# TYPE slap_fleet_breaker_state gauge")
 		for _, s := range sts {

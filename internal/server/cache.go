@@ -43,6 +43,8 @@ func (s *Server) cachedMapASIC(ctx context.Context, req *MapRequest, g *aig.AIG,
 		sl.Rounds = req.Rounds
 		sl.DelayFactor = req.DelayFactor
 		sl.Choices = req.Choices
+		sl.ChoiceOpts = s.cfg.ChoiceOptions
+		sl.Views = s.views
 		if streaming {
 			sl.Pool = s.pool
 		}
@@ -91,14 +93,24 @@ func (s *Server) cachedMapASIC(ctx context.Context, req *MapRequest, g *aig.AIG,
 	if df < 1 {
 		df = 1
 	}
-	sig := fmt.Sprintf("asic/policy=%s/limit=%d/seed=%d/lib=%s@%p/rounds=%d/df=%g/choices=%v",
-		policy, limit, seed, lib.Name, lib, rounds, df, req.Choices)
+	// The choice-options content signature joins the key when choices are
+	// on: two server configs that build different views must never share a
+	// cached mapping result.
+	cSig := "off"
+	if req.Choices {
+		cSig = s.cfg.ChoiceOptions.Sig()
+	}
+	sig := fmt.Sprintf("asic/policy=%s/limit=%d/seed=%d/lib=%s@%p/rounds=%d/df=%g/choices=%s",
+		policy, limit, seed, lib.Name, lib, rounds, df, cSig)
 	key := mapcache.KeyOf(g, sig)
 	// ECO snapshots and delta remapping are defined for the single-round,
 	// no-choice flow only; multi-round configurations still get exact-key
 	// caching and singleflight, their entries just carry no snapshot.
 	simple := rounds <= 1 && !req.Choices
-	mg, ch := requestChoiceView(g, req.Choices)
+	mg, ch, err := s.requestChoiceView(ctx, g, req.Choices)
+	if err != nil {
+		return nil, err
+	}
 	opt := mapper.Options{
 		Library: lib, Policy: cutPolicy, Workers: workers,
 		Rounds: req.Rounds, DelayFactor: req.DelayFactor, Choices: ch,

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"slap/internal/choice"
 	"slap/internal/cuts"
 	"slap/internal/infer"
 	"slap/internal/mapcache"
@@ -86,6 +87,16 @@ type Metrics struct {
 	gainBuckets  []int64
 	gainSum      float64
 	gainCount    int64
+	// Choice-view construction telemetry: per-phase build wall time and
+	// proof outcome counters, aggregated across fresh builds only (cached
+	// checkouts re-observe nothing).
+	choiceBuilds      int64
+	choiceGraftSec    float64
+	choiceSimulateSec float64
+	choiceProveSec    float64
+	choiceProved      int64
+	choiceRefuted     int64
+	choiceBudgetedOut int64
 	// degraded reports current degradation reasons (nil = never degraded);
 	// set once at server assembly, read at scrape time.
 	degraded func() []string
@@ -94,6 +105,9 @@ type Metrics struct {
 	// mapCacheStats reports the mapping result cache counters (nil = no
 	// cache configured).
 	mapCacheStats func() mapcache.Stats
+	// choiceCacheStats reports the choice view cache counters (nil = no
+	// view cache configured).
+	choiceCacheStats func() choice.CacheStats
 	// batchWait reports the current coalescer flush deadline in seconds
 	// (nil = no batching).
 	batchWait func() float64
@@ -187,6 +201,25 @@ func (m *Metrics) SetBatchWaitFunc(f func() float64) { m.batchWait = f }
 // result cache counters. Call before serving.
 func (m *Metrics) SetMapCacheStatsFunc(f func() mapcache.Stats) { m.mapCacheStats = f }
 
+// SetChoiceCacheStatsFunc installs the callback that reports the choice
+// view cache counters. Call before serving.
+func (m *Metrics) SetChoiceCacheStatsFunc(f func() choice.CacheStats) { m.choiceCacheStats = f }
+
+// ObserveChoiceBuild records one fresh choice-view build: per-phase wall
+// time plus the prover's outcome tallies.
+func (m *Metrics) ObserveChoiceBuild(v *choice.View) {
+	ph := v.Phases()
+	m.mu.Lock()
+	m.choiceBuilds++
+	m.choiceGraftSec += ph.Graft.Seconds()
+	m.choiceSimulateSec += ph.Simulate.Seconds()
+	m.choiceProveSec += ph.Prove.Seconds()
+	m.choiceProved += int64(v.ProvedMembers())
+	m.choiceRefuted += int64(v.DroppedDiffer())
+	m.choiceBudgetedOut += int64(v.DroppedBudget())
+	m.mu.Unlock()
+}
+
 // ObserveDirtyFraction records one ECO delta remap's dirty-cone fraction.
 func (m *Metrics) ObserveDirtyFraction(f float64) {
 	m.mu.Lock()
@@ -271,6 +304,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	roundSum, roundCount := m.roundSum, m.roundCount
 	gainBuckets := append([]int64(nil), m.gainBuckets...)
 	gainSum, gainCount := m.gainSum, m.gainCount
+	choiceBuilds := m.choiceBuilds
+	choiceGraft, choiceSim, choiceProve := m.choiceGraftSec, m.choiceSimulateSec, m.choiceProveSec
+	choiceProved, choiceRefuted, choiceBudgeted := m.choiceProved, m.choiceRefuted, m.choiceBudgetedOut
 	m.mu.Unlock()
 
 	sort.Slice(rows, func(i, j int) bool {
@@ -448,6 +484,46 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "slap_map_round_area_gain_sum %g\n", gainSum)
 	fmt.Fprintf(w, "slap_map_round_area_gain_count %d\n", gainCount)
 
+	fmt.Fprintln(w, "# HELP slap_choice_builds_total Fresh choice-view builds (cached checkouts excluded).")
+	fmt.Fprintln(w, "# TYPE slap_choice_builds_total counter")
+	fmt.Fprintf(w, "slap_choice_builds_total %d\n", choiceBuilds)
+
+	fmt.Fprintln(w, "# HELP slap_choice_build_seconds Wall time spent in each choice-view build phase, summed across fresh builds.")
+	fmt.Fprintln(w, "# TYPE slap_choice_build_seconds counter")
+	fmt.Fprintf(w, "slap_choice_build_seconds{phase=\"graft\"} %g\n", choiceGraft)
+	fmt.Fprintf(w, "slap_choice_build_seconds{phase=\"simulate\"} %g\n", choiceSim)
+	fmt.Fprintf(w, "slap_choice_build_seconds{phase=\"prove\"} %g\n", choiceProve)
+
+	fmt.Fprintln(w, "# HELP slap_choice_proofs_total Choice-prover certificate outcomes across fresh builds.")
+	fmt.Fprintln(w, "# TYPE slap_choice_proofs_total counter")
+	fmt.Fprintf(w, "slap_choice_proofs_total{outcome=\"proved\"} %d\n", choiceProved)
+	fmt.Fprintf(w, "slap_choice_proofs_total{outcome=\"refuted\"} %d\n", choiceRefuted)
+	fmt.Fprintf(w, "slap_choice_proofs_total{outcome=\"budget_exhausted\"} %d\n", choiceBudgeted)
+
+	var cc choice.CacheStats
+	if m.choiceCacheStats != nil {
+		cc = m.choiceCacheStats()
+	}
+	fmt.Fprintln(w, "# HELP slap_choice_viewcache_hits Choice-view checkouts served from the cache (exact repeats and singleflight followers).")
+	fmt.Fprintln(w, "# TYPE slap_choice_viewcache_hits counter")
+	fmt.Fprintf(w, "slap_choice_viewcache_hits %d\n", cc.Hits)
+
+	fmt.Fprintln(w, "# HELP slap_choice_viewcache_misses Choice-view checkouts that built a fresh view.")
+	fmt.Fprintln(w, "# TYPE slap_choice_viewcache_misses counter")
+	fmt.Fprintf(w, "slap_choice_viewcache_misses %d\n", cc.Misses)
+
+	fmt.Fprintln(w, "# HELP slap_choice_viewcache_bytes Estimated resident size of cached choice views.")
+	fmt.Fprintln(w, "# TYPE slap_choice_viewcache_bytes gauge")
+	fmt.Fprintf(w, "slap_choice_viewcache_bytes %d\n", cc.Bytes)
+
+	fmt.Fprintln(w, "# HELP slap_choice_viewcache_evictions Cached choice views dropped to stay inside the byte budget.")
+	fmt.Fprintln(w, "# TYPE slap_choice_viewcache_evictions counter")
+	fmt.Fprintf(w, "slap_choice_viewcache_evictions %d\n", cc.Evictions)
+
+	fmt.Fprintln(w, "# HELP slap_choice_viewcache_views Choice views currently resident in the cache.")
+	fmt.Fprintln(w, "# TYPE slap_choice_viewcache_views gauge")
+	fmt.Fprintf(w, "slap_choice_viewcache_views %d\n", cc.Views)
+
 	fmt.Fprintln(w, "# HELP slap_peak_live_cuts Largest simultaneously-live cut count any mapping reported.")
 	fmt.Fprintln(w, "# TYPE slap_peak_live_cuts gauge")
 	fmt.Fprintf(w, "slap_peak_live_cuts %d\n", peakCutsMax)
@@ -494,30 +570,38 @@ func (m *Metrics) snapshot() any {
 	if m.mapCacheStats != nil {
 		mc = m.mapCacheStats()
 	}
+	var cc choice.CacheStats
+	if m.choiceCacheStats != nil {
+		cc = m.choiceCacheStats()
+	}
 	return map[string]any{
-		"arena_hits":           arena.Hits,
-		"arena_misses":         arena.Misses,
-		"arena_cached":         arena.Cached,
-		"arena_evictions":      arena.Evictions,
-		"mapcache_hits":        mc.Hits,
-		"mapcache_misses":      mc.Misses,
-		"mapcache_eco_hits":    mc.ECOHits,
-		"mapcache_evictions":   mc.Evictions,
-		"mapcache_bytes":       mc.Bytes,
-		"mapcache_entries":     mc.Entries,
-		"peak_live_cuts":       peakCutsMax,
-		"requests_total":       total,
-		"requests_by_endpoint": byEndpoint,
-		"cuts_considered":      cutsTotal,
-		"mappings_total":       mapsTotal,
-		"panics_total":         panicsTotal,
-		"infer_flushes":        batchCount,
-		"infer_batched":        batchSum,
-		"cuts_per_second":      m.CutsPerSec(),
-		"queue_depth":          m.sched.QueueDepth(),
-		"inflight_workers":     m.sched.InFlight(),
-		"worker_budget":        m.sched.Budget(),
-		"uptime_seconds":       time.Since(m.start).Seconds(),
+		"choice_viewcache_hits":   cc.Hits,
+		"choice_viewcache_misses": cc.Misses,
+		"choice_viewcache_bytes":  cc.Bytes,
+		"choice_viewcache_views":  cc.Views,
+		"arena_hits":              arena.Hits,
+		"arena_misses":            arena.Misses,
+		"arena_cached":            arena.Cached,
+		"arena_evictions":         arena.Evictions,
+		"mapcache_hits":           mc.Hits,
+		"mapcache_misses":         mc.Misses,
+		"mapcache_eco_hits":       mc.ECOHits,
+		"mapcache_evictions":      mc.Evictions,
+		"mapcache_bytes":          mc.Bytes,
+		"mapcache_entries":        mc.Entries,
+		"peak_live_cuts":          peakCutsMax,
+		"requests_total":          total,
+		"requests_by_endpoint":    byEndpoint,
+		"cuts_considered":         cutsTotal,
+		"mappings_total":          mapsTotal,
+		"panics_total":            panicsTotal,
+		"infer_flushes":           batchCount,
+		"infer_batched":           batchSum,
+		"cuts_per_second":         m.CutsPerSec(),
+		"queue_depth":             m.sched.QueueDepth(),
+		"inflight_workers":        m.sched.InFlight(),
+		"worker_budget":           m.sched.Budget(),
+		"uptime_seconds":          time.Since(m.start).Seconds(),
 	}
 }
 

@@ -90,6 +90,16 @@ type Config struct {
 	// clients and the coordinator can observe hash-affinity end to end.
 	// Empty on single-node deployments.
 	WorkerName string
+	// ChoiceOptions tunes choice-view construction for choices=1 requests
+	// (zero value = the choice package defaults). Its Workers field is a
+	// scheduling knob; every other field changes the built view and is part
+	// of the cache signature.
+	ChoiceOptions choice.Options
+	// ChoiceCacheBytes is the byte budget of the content-addressed choice
+	// view cache: built views are keyed by graph structure + choice options
+	// with singleflight dedup, so repeat choices=1 submissions skip view
+	// construction (0 = choice.DefaultCacheBudget, negative = disabled).
+	ChoiceCacheBytes int64
 }
 
 // Server defaults.
@@ -124,6 +134,12 @@ type Server struct {
 	// designs delta-remap against their nearest cached relative. Nil when
 	// ResultCacheBytes is zero.
 	cache *mapcache.Cache
+
+	// views caches built choice views content-addressed by (graph, choice
+	// options) with singleflight dedup, so repeat choices=1 submissions —
+	// which fleet hash-affinity routes to the same worker — skip view
+	// construction entirely. Nil when ChoiceCacheBytes is negative.
+	views *choice.Cache
 
 	// classify collapses concurrent identical /v1/classify submissions
 	// (same graph, same model) into one classification run.
@@ -168,6 +184,9 @@ func New(cfg Config) *Server {
 	if cfg.ResultCacheBytes != 0 {
 		s.cache = mapcache.New(cfg.ResultCacheBytes) // negative = DefaultBudget
 	}
+	if cfg.ChoiceCacheBytes >= 0 {
+		s.views = choice.NewCache(cfg.ChoiceCacheBytes) // 0 = DefaultCacheBudget
+	}
 	s.classify = mapcache.NewFlight[*core.Classification]()
 	s.metrics = NewMetrics(s.sched)
 	s.metrics.SetDegradedFunc(s.degradedReasons)
@@ -176,6 +195,10 @@ func New(cfg Config) *Server {
 	}
 	if s.cache != nil {
 		s.metrics.SetMapCacheStatsFunc(s.cache.Stats)
+	}
+	if s.views != nil {
+		s.metrics.SetChoiceCacheStatsFunc(s.views.Stats)
+		s.views.OnBuild = s.metrics.ObserveChoiceBuild
 	}
 	s.metrics.SetBatchWaitFunc(s.maxBatchWait)
 
@@ -533,17 +556,34 @@ func queryFloat(s string) float64 {
 	return v
 }
 
-// requestChoiceView builds the graph a request maps over: the original, or
-// — when the client asked for structural choices — a combined choice view
-// whose equivalence classes the enumerator exposes to matching. The view
-// shares the base PIs/POs, so verification and netlist emission still run
-// against the client's circuit.
-func requestChoiceView(g *aig.AIG, choices bool) (*aig.AIG, cuts.ChoiceSource) {
+// requestChoiceView resolves the graph a request maps over: the original,
+// or — when the client asked for structural choices — a combined choice
+// view whose equivalence classes the enumerator exposes to matching. The
+// view shares the base PIs/POs, so verification and netlist emission still
+// run against the client's circuit. Views are checked out of the server's
+// content-addressed cache (built at most once per (graph, options) pair,
+// concurrent identical requests share one build) under the configured
+// choice options; construction honours ctx, so a dropped client or an
+// expired deadline aborts an in-flight build instead of burning the full
+// SAT budget.
+func (s *Server) requestChoiceView(ctx context.Context, g *aig.AIG, choices bool) (*aig.AIG, cuts.ChoiceSource, error) {
 	if !choices {
-		return g, nil
+		return g, nil, nil
 	}
-	v := choice.Build(g, choice.Options{})
-	return v.G, v
+	var v *choice.View
+	var err error
+	if s.views != nil {
+		v, err = s.views.Checkout(ctx, g, s.cfg.ChoiceOptions)
+	} else {
+		v, err = choice.BuildContext(ctx, g, s.cfg.ChoiceOptions)
+		if err == nil {
+			s.metrics.ObserveChoiceBuild(v)
+		}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.G, v, nil
 }
 
 // timeoutFor clamps a client-requested timeout to the server's cap.
@@ -626,6 +666,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["mapcache_entries"] = cs.Entries
 		body["mapcache_snapshots"] = cs.Snapshots
 		body["mapcache_bytes"] = cs.Bytes
+	}
+	if s.views != nil {
+		vs := s.views.Stats()
+		body["choice_views"] = vs.Views
+		body["choice_view_bytes"] = vs.Bytes
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -821,6 +866,8 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 			sl.Rounds = req.Rounds
 			sl.DelayFactor = req.DelayFactor
 			sl.Choices = req.Choices
+			sl.ChoiceOpts = s.cfg.ChoiceOptions
+			sl.Views = s.views
 			if streaming {
 				sl.Pool = s.pool
 				res, err = sl.MapLUTStreamContext(ctx, g)
@@ -828,7 +875,10 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 				res, err = sl.MapLUTContext(ctx, g)
 			}
 		} else {
-			mg, ch := requestChoiceView(g, req.Choices)
+			mg, ch, cerr := s.requestChoiceView(ctx, g, req.Choices)
+			if cerr != nil {
+				return nil, cerr
+			}
 			opt := lutmap.Options{
 				Policy: cutPolicy, Workers: workers,
 				Rounds: req.Rounds, DelayFactor: req.DelayFactor, Choices: ch,
@@ -867,6 +917,8 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 				sl.Rounds = req.Rounds
 				sl.DelayFactor = req.DelayFactor
 				sl.Choices = req.Choices
+				sl.ChoiceOpts = s.cfg.ChoiceOptions
+				sl.Views = s.views
 				if streaming {
 					sl.Pool = s.pool
 					res, err = sl.MapStreamContext(ctx, g)
@@ -874,7 +926,10 @@ func (s *Server) executeMap(ctx context.Context, req *MapRequest, g *aig.AIG, li
 					res, err = sl.MapContext(ctx, g)
 				}
 			} else {
-				mg, ch := requestChoiceView(g, req.Choices)
+				mg, ch, cerr := s.requestChoiceView(ctx, g, req.Choices)
+				if cerr != nil {
+					return nil, cerr
+				}
 				opt := mapper.Options{
 					Library: lib, Policy: cutPolicy, Workers: workers,
 					Rounds: req.Rounds, DelayFactor: req.DelayFactor, Choices: ch,
